@@ -1,0 +1,299 @@
+//! Regenerates every table/figure of Butler & Mercer (DAC 1990) and prints
+//! the series the paper plots.
+//!
+//! Usage:
+//!
+//! ```text
+//! figures [--smoke] [--bf-sample N] [--sa-cap N] [--only figN,figM,...]
+//! ```
+//!
+//! `--smoke` runs a reduced workload (fast CI check); the default
+//! configuration is paper scale (≈1000 sampled bridging faults per circuit
+//! and kind, full collapsed checkpoint sets). Each circuit's fault records
+//! are computed once and shared across figures. Output of a full run is
+//! recorded in `EXPERIMENTS.md`.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use dp_analysis::figures::ExperimentConfig;
+use dp_analysis::topology::{
+    detectability_vs_pi_distance, detectability_vs_po_distance, pos_fed_vs_observed,
+    render_curve,
+};
+use dp_analysis::trends::{render_trend, trend_point, TrendPoint};
+use dp_analysis::{analyze_faults, bridging_universe, stuck_at_universe, FaultRecord, Histogram};
+use dp_faults::BridgeKind;
+use dp_netlist::generators::benchmark_suite;
+use dp_netlist::Circuit;
+
+struct Lab {
+    config: ExperimentConfig,
+    suite: Vec<Circuit>,
+    sa: HashMap<String, Vec<FaultRecord>>,
+    bf_and: HashMap<String, Vec<FaultRecord>>,
+    bf_or: HashMap<String, Vec<FaultRecord>>,
+}
+
+impl Lab {
+    fn new(config: ExperimentConfig) -> Self {
+        Lab {
+            config,
+            suite: benchmark_suite(),
+            sa: HashMap::new(),
+            bf_and: HashMap::new(),
+            bf_or: HashMap::new(),
+        }
+    }
+
+    fn circuit(&self, name: &str) -> &Circuit {
+        self.suite
+            .iter()
+            .find(|c| c.name() == name)
+            .unwrap_or_else(|| panic!("unknown circuit {name}"))
+    }
+
+    fn sa_records(&mut self, name: &str) -> &[FaultRecord] {
+        if !self.sa.contains_key(name) {
+            let c = self.circuit(name);
+            let mut faults = stuck_at_universe(c, true);
+            faults.truncate(self.config.sa_cap);
+            let t = Instant::now();
+            let records = analyze_faults(c, &faults);
+            eprintln!(
+                "  [sa] {name}: {} faults in {:?}",
+                records.len(),
+                t.elapsed()
+            );
+            let records = {
+                let c = self.circuit(name);
+                let _ = c;
+                records
+            };
+            self.sa.insert(name.to_string(), records);
+        }
+        &self.sa[name]
+    }
+
+    fn bf_records(&mut self, name: &str, kind: BridgeKind) -> &[FaultRecord] {
+        let map = match kind {
+            BridgeKind::And => &self.bf_and,
+            BridgeKind::Or => &self.bf_or,
+        };
+        if !map.contains_key(name) {
+            let c = self.circuit(name);
+            let faults = bridging_universe(c, kind, Some(self.config.bf_sample), self.config.seed);
+            let t = Instant::now();
+            let records = analyze_faults(c, &faults);
+            eprintln!(
+                "  [bf {kind}] {name}: {} faults in {:?}",
+                records.len(),
+                t.elapsed()
+            );
+            match kind {
+                BridgeKind::And => self.bf_and.insert(name.to_string(), records),
+                BridgeKind::Or => self.bf_or.insert(name.to_string(), records),
+            };
+        }
+        match kind {
+            BridgeKind::And => &self.bf_and[name],
+            BridgeKind::Or => &self.bf_or[name],
+        }
+    }
+
+    fn bf_merged(&mut self, name: &str) -> Vec<FaultRecord> {
+        let mut records = self.bf_records(name, BridgeKind::And).to_vec();
+        records.extend_from_slice(self.bf_records(name, BridgeKind::Or));
+        records
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ExperimentConfig::default();
+    let mut only: Option<Vec<String>> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => config = ExperimentConfig::smoke(),
+            "--bf-sample" => {
+                i += 1;
+                config.bf_sample = args[i].parse().expect("--bf-sample takes a number");
+            }
+            "--sa-cap" => {
+                i += 1;
+                config.sa_cap = args[i].parse().expect("--sa-cap takes a number");
+            }
+            "--only" => {
+                i += 1;
+                only = Some(args[i].split(',').map(str::to_string).collect());
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--only fig1,...]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let wants = |name: &str| only.as_ref().is_none_or(|o| o.iter().any(|x| x == name));
+    let mut lab = Lab::new(config);
+    let names: Vec<String> = lab.suite.iter().map(|c| c.name().to_string()).collect();
+    let total = Instant::now();
+
+    if wants("fig1") {
+        section("Figure 1 — stuck-at detection probability histograms");
+        for name in ["c95", "alu74181"] {
+            let records = lab.sa_records(name);
+            let h = Histogram::from_values(config.bins, records.iter().map(|r| r.detectability));
+            println!("[{name}] ({} faults)", h.total());
+            println!("{h}");
+        }
+    }
+
+    if wants("fig2") {
+        section("Figure 2 — stuck-at mean detectability vs netlist size");
+        let mut points: Vec<TrendPoint> = Vec::new();
+        for name in &names {
+            let records = lab.sa_records(name).to_vec();
+            points.push(trend_point(lab.circuit(name), &records));
+        }
+        println!("{}", render_trend(&points));
+    }
+
+    if wants("fig3") {
+        section("Figure 3 — stuck-at detectability vs max levels to PO (c1355s)");
+        let records = lab.sa_records("c1355s");
+        let po = detectability_vs_po_distance(records);
+        let pi = detectability_vs_pi_distance(records);
+        println!("{}", render_curve(&po, "levels to PO"));
+        println!("companion: detectability vs levels from PI (expected noisier)");
+        println!("{}", render_curve(&pi, "levels from PI"));
+    }
+
+    if wants("fig4") {
+        section("Figure 4 — stuck-at adherence histogram (74181)");
+        let records = lab.sa_records("alu74181");
+        let h = Histogram::from_values(config.bins, records.iter().filter_map(|r| r.adherence));
+        println!("({} faults with defined adherence)", h.total());
+        println!("{h}");
+    }
+
+    if wants("fig5") {
+        section("Figure 5 — proportion of NFBFs with stuck-at behaviour");
+        println!(
+            "{:<12} {:>10} {:>10} {:>12} {:>12}",
+            "circuit", "AND prop", "OR prop", "AND faults", "OR faults"
+        );
+        for name in &names {
+            let prop = |rs: &[FaultRecord]| {
+                rs.iter().filter(|r| r.site_function_constant).count() as f64
+                    / rs.len().max(1) as f64
+            };
+            let and_records = lab.bf_records(name, BridgeKind::And).to_vec();
+            let or_records = lab.bf_records(name, BridgeKind::Or).to_vec();
+            println!(
+                "{:<12} {:>10.4} {:>10.4} {:>12} {:>12}",
+                name,
+                prop(&and_records),
+                prop(&or_records),
+                and_records.len(),
+                or_records.len()
+            );
+        }
+    }
+
+    if wants("fig6") {
+        section("Figure 6 — bridging-fault detection probability histograms (c95)");
+        for (label, kind) in [("AND", BridgeKind::And), ("OR", BridgeKind::Or)] {
+            let records = lab.bf_records("c95", kind);
+            let h = Histogram::from_values(config.bins, records.iter().map(|r| r.detectability));
+            println!("{label} NFBFs ({} faults):", h.total());
+            println!("{h}");
+        }
+    }
+
+    if wants("fig7") {
+        section("Figure 7 — bridging-fault mean detectability vs netlist size");
+        let mut points: Vec<TrendPoint> = Vec::new();
+        for name in &names {
+            let records = lab.bf_merged(name);
+            points.push(trend_point(lab.circuit(name), &records));
+        }
+        println!("{}", render_trend(&points));
+    }
+
+    if wants("fig8") {
+        section("Figure 8 — bridging-fault detectability vs max levels to PO (c1355s)");
+        let records = lab.bf_merged("c1355s");
+        let curve = detectability_vs_po_distance(&records);
+        println!("{}", render_curve(&curve, "levels to PO"));
+    }
+
+    if wants("ext") {
+        section("Extensions — SCOAP correlation, random-test planning, double faults");
+        for name in ["c95", "alu74181", "c432s"] {
+            let records = lab.sa_records(name).to_vec();
+            let rho = dp_analysis::correlation::scoap_correlation(lab.circuit(name), &records);
+            println!(
+                "{:<12} spearman(det, CO) = {:>7}  (det, CC) = {:>7}  (det, cost) = {:>7}  n = {}",
+                name,
+                fmt_rho(rho.det_vs_observability),
+                fmt_rho(rho.det_vs_controllability),
+                fmt_rho(rho.det_vs_combined),
+                rho.samples
+            );
+        }
+        println!();
+        for name in ["c95", "alu74181"] {
+            let records = lab.sa_records(name).to_vec();
+            let curve = dp_analysis::coverage::expected_random_coverage(
+                &records,
+                &[16, 64, 256, 1024],
+            );
+            let rendered: Vec<String> = curve
+                .iter()
+                .map(|(k, c)| format!("{k}→{:.1}%", c * 100.0))
+                .collect();
+            println!("{name:<12} expected random coverage: {}", rendered.join("  "));
+        }
+        println!();
+        for name in ["c95", "alu74181"] {
+            let r = dp_analysis::coverage::double_fault_coverage(lab.circuit(name), 200, 1990);
+            println!(
+                "{:<12} double-fault coverage of complete single-fault set: {}/{} detectable doubles ({:.1}%), {} vectors",
+                name,
+                r.detected,
+                r.detectable,
+                100.0 * r.coverage(),
+                r.test_vectors
+            );
+        }
+    }
+
+    if wants("obs") {
+        section("§4.1 observation — POs fed vs POs observable");
+        for name in &names {
+            let (equal, detectable) = pos_fed_vs_observed(lab.sa_records(name));
+            println!(
+                "{:<12} {:>6}/{:<6} equal ({:.1}%)",
+                name,
+                equal,
+                detectable,
+                100.0 * equal as f64 / detectable.max(1) as f64,
+            );
+        }
+    }
+
+    eprintln!("\ntotal: {:?}", total.elapsed());
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===\n");
+}
+
+fn fmt_rho(rho: Option<f64>) -> String {
+    rho.map_or_else(|| "n/a".into(), |r| format!("{r:+.3}"))
+}

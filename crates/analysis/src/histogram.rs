@@ -1,0 +1,161 @@
+//! Fault-proportion histograms (the paper's Figures 1, 4 and 6).
+
+use std::fmt;
+
+/// A fixed-bin histogram over `[0, 1]` reporting *fault proportions* rather
+/// than raw counts — the paper normalises every profile to the fault-set
+/// size so circuits of different sizes are comparable.
+///
+/// # Examples
+///
+/// ```
+/// use dp_analysis::Histogram;
+///
+/// let mut h = Histogram::new(10);
+/// for v in [0.05, 0.07, 0.5, 1.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.proportions()[0], 0.5); // two values in [0, 0.1)
+/// assert_eq!(h.proportions()[9], 0.25); // 1.0 lands in the last bin
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is zero.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0, "a histogram needs at least one bin");
+        Histogram {
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Builds a histogram directly from an iterator of values.
+    pub fn from_values(bins: usize, values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::new(bins);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one value. Values are clamped into `[0, 1]`; `1.0` lands in the
+    /// last bin.
+    pub fn add(&mut self, value: f64) {
+        let v = value.clamp(0.0, 1.0);
+        let bins = self.counts.len();
+        let idx = ((v * bins as f64) as usize).min(bins - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of values added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Fault proportions per bin (each count divided by the total; all zero
+    /// when empty).
+    pub fn proportions(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// The midpoint of bin `i` (for plotting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len());
+        (i as f64 + 0.5) / self.counts.len() as f64
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// Renders an ASCII bar chart of fault proportions.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let props = self.proportions();
+        let max = props.iter().cloned().fold(0.0, f64::max).max(1e-12);
+        for (i, p) in props.iter().enumerate() {
+            let bar = "#".repeat(((p / max) * 50.0).round() as usize);
+            writeln!(f, "{:5.2} | {:6.3} {}", self.bin_center(i), p, bar)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_partition_unit_interval() {
+        let mut h = Histogram::new(4);
+        for v in [0.0, 0.24, 0.25, 0.5, 0.75, 0.99, 1.0] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 3]);
+        assert_eq!(h.total(), 7);
+    }
+
+    #[test]
+    fn proportions_sum_to_one() {
+        let h = Histogram::from_values(7, (0..100).map(|i| i as f64 / 100.0));
+        let sum: f64 = h.proportions().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new(5);
+        assert_eq!(h.proportions(), vec![0.0; 5]);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let mut h = Histogram::new(2);
+        h.add(-3.0);
+        h.add(42.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn display_renders_all_bins() {
+        let h = Histogram::from_values(3, [0.1, 0.5, 0.9]);
+        let text = h.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0);
+    }
+}

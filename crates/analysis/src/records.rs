@@ -1,0 +1,218 @@
+//! Batch fault analysis: one scalar record per fault.
+
+use dp_core::DiffProp;
+use dp_faults::{
+    checkpoint_faults, collapse_checkpoint_faults, enumerate_nfbfs, sample_nfbfs,
+    BridgeKind, Fault, SampleConfig,
+};
+use dp_netlist::Circuit;
+
+/// Everything the paper's figures need to know about one analysed fault.
+///
+/// Records carry only scalars (no BDD handles), so they outlive the engine
+/// and its garbage collections.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// The fault.
+    pub fault: Fault,
+    /// Exact detection probability in `[0, 1]`.
+    pub detectability: f64,
+    /// The paper's adherence `δ/u` (stuck-at faults with non-zero bound).
+    pub adherence: Option<f64>,
+    /// Number of POs at which the fault is observable for some vector.
+    pub observable_outputs: usize,
+    /// Number of POs structurally reachable from the fault site(s).
+    pub reachable_outputs: usize,
+    /// Whether the faulty site function is constant — for bridging faults,
+    /// the paper's "behaves as a stuck-at" criterion (Figure 5).
+    pub site_function_constant: bool,
+    /// Maximum gate levels from the site to any PO (Figures 3 and 8); for a
+    /// bridging fault, the larger of the two sites.
+    pub max_levels_to_po: u32,
+    /// Level of the site from the PIs (the X coordinate; PI-distance
+    /// scatter, §4.1); for a bridging fault, the larger of the two sites.
+    pub level_from_pi: u32,
+}
+
+impl FaultRecord {
+    /// `true` when at least one vector detects the fault.
+    pub fn is_detectable(&self) -> bool {
+        self.detectability > 0.0
+    }
+}
+
+/// Runs Difference Propagation over `faults` and returns one record each.
+///
+/// # Examples
+///
+/// ```
+/// use dp_analysis::{analyze_faults, bridging_universe};
+/// use dp_faults::BridgeKind;
+/// use dp_netlist::generators::full_adder;
+///
+/// let c = full_adder();
+/// let faults = bridging_universe(&c, BridgeKind::And, None, 0);
+/// let records = analyze_faults(&c, &faults);
+/// assert!(records.iter().any(|r| r.is_detectable()));
+/// ```
+pub fn analyze_faults(circuit: &Circuit, faults: &[Fault]) -> Vec<FaultRecord> {
+    let mut dp = DiffProp::new(circuit);
+    let levels = circuit.levels_from_inputs();
+    let to_po = circuit.max_levels_to_output();
+    let mut records = Vec::with_capacity(faults.len());
+    for fault in faults {
+        let analysis = dp.analyze(fault);
+        let adherence = dp.adherence(&analysis);
+        // A branch fault only influences the circuit through its sink gate,
+        // so its fed POs and PO distance go through the sink; net-site and
+        // bridging faults use their net(s) directly.
+        let (flow_nets, site_nets) = match fault {
+            dp_faults::Fault::StuckAt(f) => match f.site {
+                dp_faults::FaultSite::Net(n) => (vec![n], vec![n]),
+                dp_faults::FaultSite::Branch(b) => (vec![b.sink], vec![b.stem]),
+            },
+            dp_faults::Fault::Bridging(b) => (vec![b.a, b.b], vec![b.a, b.b]),
+        };
+        let reachable: std::collections::HashSet<_> = flow_nets
+            .iter()
+            .flat_map(|&s| circuit.reachable_outputs(s))
+            .collect();
+        let site_distance = |n: dp_netlist::NetId| to_po[n.index()];
+        let max_levels_to_po = match fault {
+            dp_faults::Fault::StuckAt(f) => match f.site {
+                dp_faults::FaultSite::Net(n) => site_distance(n),
+                // The branch itself sits one level above its sink.
+                dp_faults::FaultSite::Branch(b) => {
+                    let d = site_distance(b.sink);
+                    if d == u32::MAX {
+                        u32::MAX
+                    } else {
+                        d + 1
+                    }
+                }
+            },
+            dp_faults::Fault::Bridging(_) => flow_nets
+                .iter()
+                .map(|&s| site_distance(s))
+                .filter(|&d| d != u32::MAX)
+                .max()
+                .unwrap_or(u32::MAX),
+        };
+        let level_from_pi = site_nets
+            .iter()
+            .map(|s| levels[s.index()])
+            .max()
+            .unwrap_or(0);
+        records.push(FaultRecord {
+            fault: *fault,
+            detectability: analysis.detectability,
+            adherence,
+            observable_outputs: analysis.num_observable(),
+            reachable_outputs: reachable.len(),
+            site_function_constant: analysis.site_function_constant,
+            max_levels_to_po,
+            level_from_pi,
+        });
+    }
+    records
+}
+
+/// The paper's stuck-at fault universe for a circuit: checkpoint faults,
+/// optionally collapsed by gate-input equivalence (§2.1).
+pub fn stuck_at_universe(circuit: &Circuit, collapse: bool) -> Vec<Fault> {
+    let faults = checkpoint_faults(circuit);
+    let faults = if collapse {
+        collapse_checkpoint_faults(circuit, &faults)
+    } else {
+        faults
+    };
+    faults.into_iter().map(Fault::from).collect()
+}
+
+/// The paper's NFBF universe for a circuit and bridge kind: all potentially
+/// detectable NFBFs, or (when `sample` is `Some(n)` and the set is larger)
+/// an exponential-distance-weighted random sample of `n` faults (§2.2).
+pub fn bridging_universe(
+    circuit: &Circuit,
+    kind: BridgeKind,
+    sample: Option<usize>,
+    seed: u64,
+) -> Vec<Fault> {
+    let all = enumerate_nfbfs(circuit, kind);
+    let picked = match sample {
+        Some(n) if n < all.len() => sample_nfbfs(
+            circuit,
+            &all,
+            SampleConfig {
+                count: n,
+                seed,
+                ..Default::default()
+            },
+        ),
+        _ => all,
+    };
+    picked.into_iter().map(Fault::from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::{c17, full_adder};
+
+    #[test]
+    fn records_align_with_faults() {
+        let c = c17();
+        let faults = stuck_at_universe(&c, true);
+        let records = analyze_faults(&c, &faults);
+        assert_eq!(records.len(), faults.len());
+        for (f, r) in faults.iter().zip(&records) {
+            assert_eq!(*f, r.fault);
+            assert!(r.detectability >= 0.0 && r.detectability <= 1.0);
+            assert!(r.observable_outputs <= r.reachable_outputs);
+        }
+    }
+
+    #[test]
+    fn stuck_at_universe_collapse_shrinks() {
+        let c = c17();
+        assert!(stuck_at_universe(&c, true).len() < stuck_at_universe(&c, false).len());
+    }
+
+    #[test]
+    fn bridging_universe_sampling_caps_size() {
+        let c = c17();
+        let all = bridging_universe(&c, BridgeKind::And, None, 0);
+        let some = bridging_universe(&c, BridgeKind::And, Some(5), 0);
+        assert!(all.len() > 5);
+        assert_eq!(some.len(), 5);
+    }
+
+    #[test]
+    fn stuck_at_records_have_adherence() {
+        let c = full_adder();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+        // Each PI has syndrome 0.5, so every checkpoint fault has a bound.
+        assert!(records.iter().all(|r| r.adherence.is_some()));
+        assert!(records
+            .iter()
+            .all(|r| r.adherence.unwrap() <= 1.0 + 1e-12));
+    }
+
+    #[test]
+    fn bridging_records_have_no_adherence() {
+        let c = full_adder();
+        let records = analyze_faults(&c, &bridging_universe(&c, BridgeKind::Or, None, 0));
+        assert!(records.iter().all(|r| r.adherence.is_none()));
+    }
+
+    #[test]
+    fn topology_fields_are_consistent() {
+        let c = c17();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+        let max_level = *c.levels_from_inputs().iter().max().unwrap();
+        for r in &records {
+            assert!(r.level_from_pi <= max_level);
+            assert!(r.max_levels_to_po <= max_level);
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Detectability versus topology curves (the paper's Figures 3 and 8 and
+//! the PI-distance scatter of §4.1).
+
+use crate::records::FaultRecord;
+
+/// One bucket of a distance curve: all faults whose site sits `distance`
+/// levels from the POs (or PIs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistanceBucket {
+    /// The distance (gate levels).
+    pub distance: u32,
+    /// Mean detectability of the bucket's faults.
+    pub mean_detectability: f64,
+    /// Number of faults in the bucket.
+    pub faults: usize,
+}
+
+/// Buckets fault records by **maximum levels to a primary output** and
+/// averages detectability per bucket — the paper's "bathtub" curve
+/// (Figures 3 and 8). Unreachable sites (`u32::MAX`) are skipped.
+///
+/// # Examples
+///
+/// ```
+/// use dp_analysis::{analyze_faults, stuck_at_universe, topology::detectability_vs_po_distance};
+/// use dp_netlist::generators::c17;
+///
+/// let c = c17();
+/// let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+/// let curve = detectability_vs_po_distance(&records);
+/// assert!(!curve.is_empty());
+/// // Buckets come out sorted by distance.
+/// assert!(curve.windows(2).all(|w| w[0].distance < w[1].distance));
+/// ```
+pub fn detectability_vs_po_distance(records: &[FaultRecord]) -> Vec<DistanceBucket> {
+    bucket_by(records, |r| r.max_levels_to_po)
+}
+
+/// Buckets fault records by **levels from the primary inputs** — the
+/// companion scatter the paper found "much more random" than the PO curve,
+/// supporting its observability-over-controllability conclusion.
+pub fn detectability_vs_pi_distance(records: &[FaultRecord]) -> Vec<DistanceBucket> {
+    bucket_by(records, |r| r.level_from_pi)
+}
+
+fn bucket_by(records: &[FaultRecord], key: impl Fn(&FaultRecord) -> u32) -> Vec<DistanceBucket> {
+    use std::collections::BTreeMap;
+    let mut sums: BTreeMap<u32, (f64, usize)> = BTreeMap::new();
+    for r in records {
+        let d = key(r);
+        if d == u32::MAX {
+            continue;
+        }
+        let e = sums.entry(d).or_insert((0.0, 0));
+        e.0 += r.detectability;
+        e.1 += 1;
+    }
+    sums.into_iter()
+        .map(|(distance, (sum, n))| DistanceBucket {
+            distance,
+            mean_detectability: sum / n as f64,
+            faults: n,
+        })
+        .collect()
+}
+
+/// The §4.1 observability check: over all detectable faults, how often the
+/// number of POs *fed* by the site equals the number of POs at which the
+/// fault is actually *observable*. Returns `(equal, total_detectable)` —
+/// the paper reports these "are almost always the same".
+pub fn pos_fed_vs_observed(records: &[FaultRecord]) -> (usize, usize) {
+    let detectable: Vec<&FaultRecord> = records.iter().filter(|r| r.is_detectable()).collect();
+    let equal = detectable
+        .iter()
+        .filter(|r| r.observable_outputs == r.reachable_outputs)
+        .count();
+    (equal, detectable.len())
+}
+
+/// Renders a distance curve as plot-ready rows.
+pub fn render_curve(curve: &[DistanceBucket], x_label: &str) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>16} {:>12} {:>8}", x_label, "mean det", "faults");
+    for b in curve {
+        let bar = "*".repeat((b.mean_detectability * 40.0).round() as usize);
+        let _ = writeln!(
+            out,
+            "{:>16} {:>12.4} {:>8}  {}",
+            b.distance, b.mean_detectability, b.faults, bar
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{analyze_faults, stuck_at_universe};
+    use dp_netlist::generators::{c17, c95};
+
+    #[test]
+    fn po_curve_covers_all_reachable_faults() {
+        let c = c17();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+        let curve = detectability_vs_po_distance(&records);
+        let total: usize = curve.iter().map(|b| b.faults).sum();
+        assert_eq!(total, records.len());
+    }
+
+    #[test]
+    fn pi_curve_starts_at_zero_for_pi_faults() {
+        let c = c17();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+        let curve = detectability_vs_pi_distance(&records);
+        assert_eq!(curve[0].distance, 0);
+        assert!(curve[0].faults >= 10); // 5 PIs × 2 polarities
+    }
+
+    #[test]
+    fn pos_fed_vs_observed_is_high_on_c95() {
+        let c = c95();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, true));
+        let (equal, total) = pos_fed_vs_observed(&records);
+        assert!(total > 0);
+        // The paper: "almost always the same".
+        assert!(
+            equal as f64 / total as f64 > 0.8,
+            "only {equal}/{total} equal"
+        );
+    }
+
+    #[test]
+    fn render_curve_has_header_and_rows() {
+        let c = c17();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+        let curve = detectability_vs_po_distance(&records);
+        let text = render_curve(&curve, "levels to PO");
+        assert!(text.lines().count() > 1);
+        assert!(text.contains("levels to PO"));
+    }
+}

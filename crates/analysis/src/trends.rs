@@ -1,0 +1,120 @@
+//! Circuit-set detectability trends (the paper's Figures 2 and 7).
+
+use dp_netlist::Circuit;
+
+use crate::records::FaultRecord;
+
+/// One circuit's point on a trend plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrendPoint {
+    /// Circuit name.
+    pub name: String,
+    /// Netlist size (gate count) — the X axis of Figures 2 and 7.
+    pub netlist_size: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Mean detectability over the *detectable* faults (solid line).
+    pub mean_detectability: f64,
+    /// The same mean divided by the PO count (dotted line) — the paper's
+    /// correction for PO counts not scaling with PI counts.
+    pub normalized_detectability: f64,
+    /// Number of detectable faults contributing to the mean.
+    pub detectable_faults: usize,
+    /// Total faults analysed.
+    pub total_faults: usize,
+}
+
+/// Computes one trend point from a circuit's fault records, averaging over
+/// detectable faults as the paper does.
+///
+/// # Examples
+///
+/// ```
+/// use dp_analysis::{analyze_faults, stuck_at_universe, trends::trend_point};
+/// use dp_netlist::generators::c17;
+///
+/// let c = c17();
+/// let records = analyze_faults(&c, &stuck_at_universe(&c, true));
+/// let p = trend_point(&c, &records);
+/// assert_eq!(p.netlist_size, 6);
+/// assert!(p.mean_detectability > 0.0);
+/// assert!(p.normalized_detectability <= p.mean_detectability);
+/// ```
+pub fn trend_point(circuit: &Circuit, records: &[FaultRecord]) -> TrendPoint {
+    let detectable: Vec<&FaultRecord> = records.iter().filter(|r| r.is_detectable()).collect();
+    let mean = if detectable.is_empty() {
+        0.0
+    } else {
+        detectable.iter().map(|r| r.detectability).sum::<f64>() / detectable.len() as f64
+    };
+    TrendPoint {
+        name: circuit.name().to_string(),
+        netlist_size: circuit.num_gates(),
+        num_outputs: circuit.num_outputs(),
+        mean_detectability: mean,
+        normalized_detectability: mean / circuit.num_outputs() as f64,
+        detectable_faults: detectable.len(),
+        total_faults: records.len(),
+    }
+}
+
+/// Renders a trend series as the rows the paper plots (name, size, mean,
+/// normalised mean).
+pub fn render_trend(points: &[TrendPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>8} {:>5} {:>12} {:>14} {:>10}",
+        "circuit", "gates", "POs", "mean det", "det / #POs", "faults"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>8} {:>5} {:>12.4} {:>14.5} {:>6}/{:<4}",
+            p.name,
+            p.netlist_size,
+            p.num_outputs,
+            p.mean_detectability,
+            p.normalized_detectability,
+            p.detectable_faults,
+            p.total_faults
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{analyze_faults, stuck_at_universe};
+    use dp_netlist::generators::{c17, full_adder};
+
+    #[test]
+    fn trend_point_counts_detectable_only() {
+        let c = full_adder();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, false));
+        let p = trend_point(&c, &records);
+        assert_eq!(p.total_faults, records.len());
+        assert_eq!(p.detectable_faults, records.len()); // irredundant circuit
+        assert!(p.mean_detectability > 0.0 && p.mean_detectability <= 1.0);
+    }
+
+    #[test]
+    fn normalization_divides_by_outputs() {
+        let c = c17();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, true));
+        let p = trend_point(&c, &records);
+        assert!((p.normalized_detectability * 2.0 - p.mean_detectability).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let c = c17();
+        let records = analyze_faults(&c, &stuck_at_universe(&c, true));
+        let p = trend_point(&c, &records);
+        let text = render_trend(&[p.clone(), p]);
+        assert_eq!(text.lines().count(), 3); // header + 2 rows
+        assert!(text.contains("c17"));
+    }
+}

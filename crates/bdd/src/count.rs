@@ -1,0 +1,223 @@
+//! Exact model counting: the syndrome / detectability primitive.
+//!
+//! The paper defines the *syndrome* of a line as the proportion of ones in
+//! its K-map (Savir) and the *detectability* of a fault as the proportion of
+//! input vectors that detect it. Both reduce to counting satisfying
+//! assignments of an OBDD over all primary-input variables.
+
+use std::collections::HashMap;
+
+use crate::manager::{Manager, NodeId};
+
+impl Manager {
+    /// Exact number of satisfying assignments of `f` over all
+    /// [`Manager::num_vars`] variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager has more than 127 variables (the count no longer
+    /// fits in `u128`); use [`Manager::density`] beyond that.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(3);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let f = m.or(a, b);
+    /// assert_eq!(m.sat_count(f), 6); // (a ∨ b) has 3 minterms on 2 vars, ×2 for c
+    /// ```
+    pub fn sat_count(&self, f: NodeId) -> u128 {
+        let n = self.num_vars() as u32;
+        assert!(n <= 127, "sat_count overflows u128 beyond 127 variables; use density");
+        let mut memo: HashMap<NodeId, u128> = HashMap::new();
+        self.count_below(f, 0, n, &mut memo)
+    }
+
+    /// Counts assignments of the variables at levels `level..n` that satisfy
+    /// the subfunction rooted at `f` (whose top level is ≥ `level`).
+    fn count_below(
+        &self,
+        f: NodeId,
+        level: u32,
+        n: u32,
+        memo: &mut HashMap<NodeId, u128>,
+    ) -> u128 {
+        let flevel = self.node_level(f).min(n);
+        let free = flevel - level; // variables skipped above f's own level
+        let base = if f.is_terminal() {
+            if f.is_true() {
+                1
+            } else {
+                0
+            }
+        } else if let Some(&c) = memo.get(&f) {
+            c
+        } else {
+            let next = self.node_level(f) + 1;
+            let lo = self.count_below(self.node_lo(f), next, n, memo);
+            let hi = self.count_below(self.node_hi(f), next, n, memo);
+            let c = lo + hi;
+            memo.insert(f, c);
+            c
+        };
+        base << free
+    }
+
+    /// The fraction of assignments satisfying `f`, in `[0, 1]`.
+    ///
+    /// This is the paper's *syndrome* when `f` is a net function, and the
+    /// *exact detection probability* when `f` is a complete test set. Computed
+    /// directly as a floating-point recursion, so it works for any number of
+    /// variables.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let f = m.and(a, b);
+    /// assert_eq!(m.density(f), 0.25);
+    /// ```
+    pub fn density(&self, f: NodeId) -> f64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        self.density_rec(f, &mut memo)
+    }
+
+    fn density_rec(&self, f: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        if f.is_terminal() {
+            return if f.is_true() { 1.0 } else { 0.0 };
+        }
+        if let Some(&d) = memo.get(&f) {
+            return d;
+        }
+        let lo = self.density_rec(self.node_lo(f), memo);
+        let hi = self.density_rec(self.node_hi(f), memo);
+        let d = 0.5 * (lo + hi);
+        memo.insert(f, d);
+        d
+    }
+
+    /// Returns one satisfying assignment of `f`, as a full vector over all
+    /// variables (unconstrained variables are set to `false`), or `None` if
+    /// `f` is unsatisfiable.
+    ///
+    /// In test-generation terms: picks one test vector from a complete test
+    /// set.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(0);
+    /// let nb = m.nvar(1);
+    /// let f = m.and(a, nb);
+    /// let v = m.pick_minterm(f).expect("satisfiable");
+    /// assert!(m.eval(f, &v));
+    /// assert_eq!(v, vec![true, false]);
+    /// ```
+    pub fn pick_minterm(&self, f: NodeId) -> Option<Vec<bool>> {
+        if f.is_false() {
+            return None;
+        }
+        let mut assignment = vec![false; self.num_vars()];
+        let mut cur = f;
+        while !cur.is_terminal() {
+            let var = self.node_var(cur) as usize;
+            let lo = self.node_lo(cur);
+            if lo.is_false() {
+                assignment[var] = true;
+                cur = self.node_hi(cur);
+            } else {
+                cur = lo;
+            }
+        }
+        debug_assert!(cur.is_true());
+        Some(assignment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_terminals() {
+        let m = Manager::new(3);
+        assert_eq!(m.sat_count(NodeId::TRUE), 8);
+        assert_eq!(m.sat_count(NodeId::FALSE), 0);
+        assert_eq!(m.density(NodeId::TRUE), 1.0);
+        assert_eq!(m.density(NodeId::FALSE), 0.0);
+    }
+
+    #[test]
+    fn count_single_var_over_many() {
+        let mut m = Manager::new(5);
+        let c = m.var(2);
+        assert_eq!(m.sat_count(c), 16);
+        assert_eq!(m.density(c), 0.5);
+    }
+
+    #[test]
+    fn count_matches_density() {
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let d = m.var(3);
+        let ab = m.and(a, b);
+        let cd = m.xor(c, d);
+        let f = m.or(ab, cd);
+        let count = m.sat_count(f) as f64;
+        assert!((m.density(f) - count / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn count_with_custom_order() {
+        let mut m = Manager::with_order(&[3, 1, 0, 2]).unwrap();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.sat_count(f), 4); // 1 minterm over {a,b}, ×4 for {c,d}
+    }
+
+    #[test]
+    fn pick_minterm_satisfies() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let nb = m.nvar(1);
+        let c = m.var(2);
+        let anb = m.and(a, nb);
+        let f = m.and(anb, c);
+        let v = m.pick_minterm(f).unwrap();
+        assert!(m.eval(f, &v));
+        assert!(m.pick_minterm(NodeId::FALSE).is_none());
+        assert_eq!(m.pick_minterm(NodeId::TRUE).unwrap(), vec![false; 3]);
+    }
+
+    #[test]
+    fn count_brute_force_agreement() {
+        // Random-ish function: majority of 3 variables.
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let bc = m.and(b, c);
+        let ac = m.and(a, c);
+        let t = m.or(ab, bc);
+        let maj = m.or(t, ac);
+        let mut brute = 0;
+        for bits in 0u32..8 {
+            let v: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            if m.eval(maj, &v) {
+                brute += 1;
+            }
+        }
+        assert_eq!(m.sat_count(maj), brute);
+    }
+}

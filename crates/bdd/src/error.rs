@@ -1,0 +1,37 @@
+//! Error type for the BDD package.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by fallible [`Manager`](crate::Manager) constructors and
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The supplied variable order is not a permutation of `0..n`.
+    InvalidOrder,
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::InvalidOrder => {
+                write!(f, "variable order is not a permutation of 0..n")
+            }
+        }
+    }
+}
+
+impl Error for BddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let msg = BddError::InvalidOrder.to_string();
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(!msg.ends_with('.'));
+    }
+}

@@ -1,0 +1,602 @@
+//! The BDD manager: node storage, unique table, and variable ordering.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::BddError;
+use crate::ops::OpKey;
+
+/// A variable index in `0..num_vars`.
+///
+/// Variable indices are stable names; the *position* of a variable in the
+/// order is its level (see [`Manager::level_of`]). For a freshly created
+/// manager the order is the identity (variable `i` sits at level `i`).
+pub type Var = u32;
+
+/// A handle to a BDD node inside a [`Manager`].
+///
+/// Node ids are only meaningful relative to the manager that produced them.
+/// Because the unique table hash-conses nodes, two equal `NodeId`s from the
+/// same manager always denote the same Boolean function, and conversely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The constant-false terminal.
+    pub const FALSE: NodeId = NodeId(0);
+    /// The constant-true terminal.
+    pub const TRUE: NodeId = NodeId(1);
+
+    /// Returns `true` if this is one of the two terminal nodes.
+    pub fn is_terminal(self) -> bool {
+        self.0 <= 1
+    }
+
+    /// Returns `true` if this is the constant-false terminal.
+    pub fn is_false(self) -> bool {
+        self == Self::FALSE
+    }
+
+    /// Returns `true` if this is the constant-true terminal.
+    pub fn is_true(self) -> bool {
+        self == Self::TRUE
+    }
+
+    /// Raw index into the manager's node table (mostly useful for debugging).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NodeId::FALSE => write!(f, "⊥"),
+            NodeId::TRUE => write!(f, "⊤"),
+            NodeId(i) => write!(f, "n{i}"),
+        }
+    }
+}
+
+/// An internal decision node: `if var then hi else lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct Node {
+    pub var: Var,
+    pub lo: NodeId,
+    pub hi: NodeId,
+}
+
+/// Level sentinel for terminals: below every real variable.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+/// An ordered-BDD manager: owns the node table, the unique table that
+/// guarantees canonicity, and the operation caches.
+///
+/// All functions produced by one manager share subgraphs; equality of
+/// [`NodeId`]s is equality of functions. The manager is deliberately a plain
+/// `&mut`-threaded structure (no interior mutability): Difference Propagation
+/// is a single-threaded sweep per fault, and keeping the manager simple keeps
+/// it fast and auditable.
+///
+/// # Examples
+///
+/// ```
+/// use dp_bdd::Manager;
+///
+/// let mut m = Manager::new(2);
+/// let a = m.var(0);
+/// let b = m.var(1);
+/// let f = m.or(a, b);
+/// assert_eq!(m.sat_count(f), 3);
+/// ```
+#[derive(Debug)]
+pub struct Manager {
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) unique: HashMap<Node, NodeId>,
+    pub(crate) op_cache: HashMap<OpKey, NodeId>,
+    /// `var_to_level[v]` is the position of variable `v` in the order.
+    var_to_level: Vec<u32>,
+    /// `level_to_var[l]` is the variable sitting at position `l`.
+    level_to_var: Vec<Var>,
+}
+
+impl Manager {
+    /// Creates a manager for `num_vars` variables with the identity order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars` exceeds `u32::MAX - 2` (a size no combinational
+    /// circuit in this workspace approaches).
+    pub fn new(num_vars: usize) -> Self {
+        assert!(num_vars < (u32::MAX - 2) as usize, "too many variables");
+        let mut m = Manager {
+            nodes: Vec::with_capacity(1024),
+            unique: HashMap::new(),
+            op_cache: HashMap::new(),
+            var_to_level: (0..num_vars as u32).collect(),
+            level_to_var: (0..num_vars as u32).collect(),
+        };
+        // Slots 0 and 1 are the terminals; their stored fields are never read
+        // through the usual paths but keep indices aligned.
+        m.nodes.push(Node { var: u32::MAX, lo: NodeId::FALSE, hi: NodeId::FALSE });
+        m.nodes.push(Node { var: u32::MAX, lo: NodeId::TRUE, hi: NodeId::TRUE });
+        m
+    }
+
+    /// Creates a manager with an explicit variable order.
+    ///
+    /// `order[l]` is the variable placed at level `l` (level 0 is the root
+    /// level, tested first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::InvalidOrder`] if `order` is not a permutation of
+    /// `0..order.len()`.
+    pub fn with_order(order: &[Var]) -> Result<Self, BddError> {
+        let n = order.len();
+        let mut var_to_level = vec![u32::MAX; n];
+        for (level, &v) in order.iter().enumerate() {
+            if (v as usize) >= n || var_to_level[v as usize] != u32::MAX {
+                return Err(BddError::InvalidOrder);
+            }
+            var_to_level[v as usize] = level as u32;
+        }
+        let mut m = Manager::new(n);
+        m.var_to_level = var_to_level;
+        m.level_to_var = order.to_vec();
+        Ok(m)
+    }
+
+    /// Number of variables this manager was created with.
+    pub fn num_vars(&self) -> usize {
+        self.var_to_level.len()
+    }
+
+    /// Total number of nodes currently allocated (including both terminals).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The level (position in the order) of variable `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn level_of(&self, v: Var) -> u32 {
+        self.var_to_level[v as usize]
+    }
+
+    /// The variable sitting at level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is out of range.
+    pub fn var_at_level(&self, l: u32) -> Var {
+        self.level_to_var[l as usize]
+    }
+
+    /// The current variable order, as the sequence of variables from the root
+    /// level downward.
+    pub fn order(&self) -> &[Var] {
+        &self.level_to_var
+    }
+
+    /// Exchanges the order bookkeeping for `level` and `level + 1` (the node
+    /// rewriting lives in the `reorder` module).
+    pub(crate) fn swap_order_entries(&mut self, level: u32) {
+        let l = level as usize;
+        self.level_to_var.swap(l, l + 1);
+        let u = self.level_to_var[l];
+        let v = self.level_to_var[l + 1];
+        self.var_to_level[u as usize] = level;
+        self.var_to_level[v as usize] = level + 1;
+    }
+
+    /// Level of a node: terminals sit below all variables.
+    pub(crate) fn node_level(&self, n: NodeId) -> u32 {
+        if n.is_terminal() {
+            TERMINAL_LEVEL
+        } else {
+            self.var_to_level[self.nodes[n.index()].var as usize]
+        }
+    }
+
+    /// The decision variable of an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is a terminal.
+    pub fn node_var(&self, n: NodeId) -> Var {
+        assert!(!n.is_terminal(), "terminals have no decision variable");
+        self.nodes[n.index()].var
+    }
+
+    /// The else-child (`var = 0` cofactor) of an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is a terminal.
+    pub fn node_lo(&self, n: NodeId) -> NodeId {
+        assert!(!n.is_terminal(), "terminals have no children");
+        self.nodes[n.index()].lo
+    }
+
+    /// The then-child (`var = 1` cofactor) of an internal node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is a terminal.
+    pub fn node_hi(&self, n: NodeId) -> NodeId {
+        assert!(!n.is_terminal(), "terminals have no children");
+        self.nodes[n.index()].hi
+    }
+
+    /// Returns the constant `true` or `false` function.
+    pub fn constant(&self, value: bool) -> NodeId {
+        if value {
+            NodeId::TRUE
+        } else {
+            NodeId::FALSE
+        }
+    }
+
+    /// Returns the single-variable function `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn var(&mut self, v: Var) -> NodeId {
+        assert!((v as usize) < self.num_vars(), "variable out of range");
+        self.mk(v, NodeId::FALSE, NodeId::TRUE)
+    }
+
+    /// Returns the negated single-variable function `¬v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn nvar(&mut self, v: Var) -> NodeId {
+        assert!((v as usize) < self.num_vars(), "variable out of range");
+        self.mk(v, NodeId::TRUE, NodeId::FALSE)
+    }
+
+    /// The `mk` operation: returns the canonical node `(var, lo, hi)`,
+    /// applying the reduction rule `lo == hi ⇒ lo` and hash-consing.
+    pub(crate) fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        if lo == hi {
+            return lo;
+        }
+        let node = Node { var, lo, hi };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// Evaluates the function under a complete assignment
+    /// (`assignment[v]` is the value of variable `v`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment` is shorter than [`Manager::num_vars`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let f = m.and(a, b);
+    /// assert!(m.eval(f, &[true, true]));
+    /// assert!(!m.eval(f, &[true, false]));
+    /// ```
+    pub fn eval(&self, mut n: NodeId, assignment: &[bool]) -> bool {
+        assert!(assignment.len() >= self.num_vars(), "assignment too short");
+        while !n.is_terminal() {
+            let node = self.nodes[n.index()];
+            n = if assignment[node.var as usize] { node.hi } else { node.lo };
+        }
+        n.is_true()
+    }
+
+    /// Number of internal nodes reachable from `n` (terminals excluded).
+    ///
+    /// This is the classical "BDD size" measure.
+    pub fn size(&self, n: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let node = self.nodes[x.index()];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len()
+    }
+
+    /// The set of variables the function actually depends on, in increasing
+    /// variable-index order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(3);
+    /// let a = m.var(0);
+    /// let c = m.var(2);
+    /// let f = m.and(a, c);
+    /// assert_eq!(m.support(f), vec![0, 2]);
+    /// ```
+    pub fn support(&self, n: NodeId) -> Vec<Var> {
+        let mut present = vec![false; self.num_vars()];
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let node = self.nodes[x.index()];
+            present[node.var as usize] = true;
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        present
+            .iter()
+            .enumerate()
+            .filter_map(|(v, &p)| p.then_some(v as Var))
+            .collect()
+    }
+
+    /// Returns `true` if the function is one of the two constants.
+    ///
+    /// In the paper's §4.2 this is the test for a bridging fault "exhibiting
+    /// stuck-at behaviour": the faulty site function has empty support.
+    pub fn is_constant(&self, n: NodeId) -> bool {
+        n.is_terminal()
+    }
+
+    /// Drops the operation cache. Node storage is untouched.
+    ///
+    /// Useful between unrelated workloads to bound memory without the cost of
+    /// a full [`Manager::gc`].
+    pub fn clear_op_cache(&mut self) {
+        self.op_cache.clear();
+    }
+
+    /// Garbage-collects every node not reachable from `roots`, compacting the
+    /// node table. Returns the remapping from old to new ids; apply it to any
+    /// retained handles via [`Remap::map`].
+    ///
+    /// The operation cache is invalidated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let keep = m.and(a, b);
+    /// let _garbage = m.xor(a, b);
+    /// let remap = m.gc(&[keep]);
+    /// let keep = remap.map(keep);
+    /// assert_eq!(m.sat_count(keep), 1);
+    /// ```
+    pub fn gc(&mut self, roots: &[NodeId]) -> Remap {
+        // Post-order placement: children are compacted before their parents
+        // regardless of slot order (in-place reordering can leave parents at
+        // lower indices than their children).
+        let mut map = vec![NodeId::FALSE; self.nodes.len()];
+        let mut placed = vec![false; self.nodes.len()];
+        let mut new_nodes = vec![self.nodes[0], self.nodes[1]];
+        map[0] = NodeId::FALSE;
+        map[1] = NodeId::TRUE;
+        placed[0] = true;
+        placed[1] = true;
+        let mut stack: Vec<(NodeId, bool)> = roots.iter().map(|&r| (r, false)).collect();
+        while let Some((x, expanded)) = stack.pop() {
+            if placed[x.index()] {
+                continue;
+            }
+            let node = self.nodes[x.index()];
+            if expanded {
+                let remapped = Node {
+                    var: node.var,
+                    lo: map[node.lo.index()],
+                    hi: map[node.hi.index()],
+                };
+                let id = NodeId(new_nodes.len() as u32);
+                new_nodes.push(remapped);
+                map[x.index()] = id;
+                placed[x.index()] = true;
+            } else {
+                stack.push((x, true));
+                stack.push((node.lo, false));
+                stack.push((node.hi, false));
+            }
+        }
+        self.nodes = new_nodes;
+        self.unique.clear();
+        for (i, node) in self.nodes.iter().enumerate().skip(2) {
+            self.unique.insert(*node, NodeId(i as u32));
+        }
+        self.op_cache.clear();
+        Remap { map }
+    }
+
+    /// Emits the graph rooted at `n` in Graphviz `dot` syntax (debug aid).
+    pub fn to_dot(&self, n: NodeId, name: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{name}\" {{");
+        let _ = writeln!(out, "  t0 [label=\"0\", shape=box];");
+        let _ = writeln!(out, "  t1 [label=\"1\", shape=box];");
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![n];
+        let label = |x: NodeId| -> String {
+            match x {
+                NodeId::FALSE => "t0".to_string(),
+                NodeId::TRUE => "t1".to_string(),
+                NodeId(i) => format!("n{i}"),
+            }
+        };
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let node = self.nodes[x.index()];
+            let _ = writeln!(out, "  {} [label=\"x{}\"];", label(x), node.var);
+            let _ = writeln!(out, "  {} -> {} [style=dashed];", label(x), label(node.lo));
+            let _ = writeln!(out, "  {} -> {};", label(x), label(node.hi));
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// The old-id → new-id mapping produced by [`Manager::gc`].
+#[derive(Debug, Clone)]
+pub struct Remap {
+    map: Vec<NodeId>,
+}
+
+impl Remap {
+    /// Translates a pre-collection handle into its post-collection handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old` was not reachable from the GC roots (its slot was
+    /// reclaimed) — with the exception of terminals, which always survive.
+    pub fn map(&self, old: NodeId) -> NodeId {
+        let new = self.map[old.index()];
+        assert!(
+            old.is_terminal() || new != NodeId::FALSE,
+            "node {old} was collected; include it in the gc roots"
+        );
+        new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminals_are_fixed() {
+        let m = Manager::new(4);
+        assert!(NodeId::FALSE.is_terminal());
+        assert!(NodeId::TRUE.is_terminal());
+        assert_eq!(m.constant(false), NodeId::FALSE);
+        assert_eq!(m.constant(true), NodeId::TRUE);
+        assert_eq!(m.num_nodes(), 2);
+    }
+
+    #[test]
+    fn var_is_hash_consed() {
+        let mut m = Manager::new(2);
+        let a1 = m.var(0);
+        let a2 = m.var(0);
+        assert_eq!(a1, a2);
+        assert_eq!(m.num_nodes(), 3);
+    }
+
+    #[test]
+    fn mk_reduces_equal_children() {
+        let mut m = Manager::new(2);
+        let t = NodeId::TRUE;
+        assert_eq!(m.mk(0, t, t), t);
+    }
+
+    #[test]
+    fn eval_var_and_nvar() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let na = m.nvar(0);
+        assert!(m.eval(a, &[true, false]));
+        assert!(!m.eval(a, &[false, false]));
+        assert!(!m.eval(na, &[true, false]));
+        assert!(m.eval(na, &[false, false]));
+    }
+
+    #[test]
+    fn with_order_accepts_permutation() {
+        let m = Manager::with_order(&[2, 0, 1]).unwrap();
+        assert_eq!(m.level_of(2), 0);
+        assert_eq!(m.level_of(0), 1);
+        assert_eq!(m.level_of(1), 2);
+        assert_eq!(m.var_at_level(0), 2);
+        assert_eq!(m.order(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn with_order_rejects_non_permutation() {
+        assert!(Manager::with_order(&[0, 0, 1]).is_err());
+        assert!(Manager::with_order(&[0, 3, 1]).is_err());
+    }
+
+    #[test]
+    fn support_reports_dependencies() {
+        let mut m = Manager::new(4);
+        let b = m.var(1);
+        let d = m.var(3);
+        let f = m.or(b, d);
+        assert_eq!(m.support(f), vec![1, 3]);
+        assert!(m.support(NodeId::TRUE).is_empty());
+    }
+
+    #[test]
+    fn size_counts_internal_nodes() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        assert_eq!(m.size(f), 3); // root + two nodes on var 1
+        assert_eq!(m.size(NodeId::TRUE), 0);
+    }
+
+    #[test]
+    fn gc_keeps_roots_and_compacts() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let keep = m.and(a, b);
+        let ab = m.xor(a, b);
+        let _garbage = m.xor(ab, c);
+        let before = m.num_nodes();
+        let remap = m.gc(&[keep]);
+        let keep2 = remap.map(keep);
+        assert!(m.num_nodes() < before);
+        assert_eq!(m.sat_count(keep2), 2); // a·b over 3 vars = 2 minterms
+    }
+
+    #[test]
+    #[should_panic(expected = "was collected")]
+    fn remap_panics_on_collected_node() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let garbage = m.and(a, b);
+        let remap = m.gc(&[]);
+        let _ = remap.map(garbage);
+    }
+
+    #[test]
+    fn to_dot_mentions_every_variable() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let dot = m.to_dot(f, "f");
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+    }
+}

@@ -1,0 +1,552 @@
+//! Boolean operations: `apply`, negation, `ite`, cofactors and quantifiers.
+
+use crate::manager::{Manager, NodeId, Var, TERMINAL_LEVEL};
+
+/// A binary Boolean connective accepted by [`Manager::apply`].
+///
+/// Only the three ring operations needed by Difference Propagation are
+/// primitive; the remaining connectives (`NAND`, `NOR`, implication, ...) are
+/// compositions of these and [`Manager::not`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Exclusive or — the GF(2) ring sum the paper's Table 1 is built on.
+    Xor,
+}
+
+impl BinOp {
+    /// Applies the connective to two scalar bits.
+    pub fn eval(self, a: bool, b: bool) -> bool {
+        match self {
+            BinOp::And => a && b,
+            BinOp::Or => a || b,
+            BinOp::Xor => a ^ b,
+        }
+    }
+}
+
+/// Key for the memoisation cache. Binary ops canonicalise operand order for
+/// commutative connectives so `a∧b` and `b∧a` share an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum OpKey {
+    Bin(BinOp, NodeId, NodeId),
+    Not(NodeId),
+    Ite(NodeId, NodeId, NodeId),
+    Restrict(NodeId, Var, bool),
+    Compose(NodeId, Var, NodeId),
+    Exists(NodeId, u64),
+    Forall(NodeId, u64),
+}
+
+impl Manager {
+    /// Shannon cofactor split at the top level of `a` and `b`.
+    fn top_split(&self, a: NodeId, b: NodeId) -> (Var, NodeId, NodeId, NodeId, NodeId) {
+        let la = self.node_level(a);
+        let lb = self.node_level(b);
+        debug_assert!(la != TERMINAL_LEVEL || lb != TERMINAL_LEVEL);
+        let level = la.min(lb);
+        let var = self.var_at_level(level);
+        let (a0, a1) = if la == level {
+            (self.node_lo(a), self.node_hi(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if lb == level {
+            (self.node_lo(b), self.node_hi(b))
+        } else {
+            (b, b)
+        };
+        (var, a0, a1, b0, b1)
+    }
+
+    /// Bryant's `apply`: combines two BDDs with a binary connective.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::{BinOp, Manager};
+    /// let mut m = Manager::new(2);
+    /// let a = m.var(0);
+    /// let b = m.var(1);
+    /// let f = m.apply(BinOp::Xor, a, b);
+    /// assert_eq!(m.sat_count(f), 2);
+    /// ```
+    pub fn apply(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
+        // Terminal rules.
+        match op {
+            BinOp::And => {
+                if a.is_false() || b.is_false() {
+                    return NodeId::FALSE;
+                }
+                if a.is_true() {
+                    return b;
+                }
+                if b.is_true() {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BinOp::Or => {
+                if a.is_true() || b.is_true() {
+                    return NodeId::TRUE;
+                }
+                if a.is_false() {
+                    return b;
+                }
+                if b.is_false() {
+                    return a;
+                }
+                if a == b {
+                    return a;
+                }
+            }
+            BinOp::Xor => {
+                if a.is_false() {
+                    return b;
+                }
+                if b.is_false() {
+                    return a;
+                }
+                if a == b {
+                    return NodeId::FALSE;
+                }
+                if a.is_true() {
+                    return self.not(b);
+                }
+                if b.is_true() {
+                    return self.not(a);
+                }
+            }
+        }
+        // Commutative: canonicalise operand order for cache hits.
+        let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        let key = OpKey::Bin(op, x, y);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let (var, a0, a1, b0, b1) = self.top_split(x, y);
+        let lo = self.apply(op, a0, b0);
+        let hi = self.apply(op, a1, b1);
+        let r = self.mk(var, lo, hi);
+        self.op_cache.insert(key, r);
+        r
+    }
+
+    /// `a ∧ b`. Shorthand for [`Manager::apply`] with [`BinOp::And`].
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(BinOp::And, a, b)
+    }
+
+    /// `a ∨ b`. Shorthand for [`Manager::apply`] with [`BinOp::Or`].
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(BinOp::Or, a, b)
+    }
+
+    /// `a ⊕ b`. Shorthand for [`Manager::apply`] with [`BinOp::Xor`].
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.apply(BinOp::Xor, a, b)
+    }
+
+    /// `¬a`.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        if a.is_false() {
+            return NodeId::TRUE;
+        }
+        if a.is_true() {
+            return NodeId::FALSE;
+        }
+        let key = OpKey::Not(a);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let var = self.node_var(a);
+        let (alo, ahi) = (self.node_lo(a), self.node_hi(a));
+        let lo = self.not(alo);
+        let hi = self.not(ahi);
+        let r = self.mk(var, lo, hi);
+        self.op_cache.insert(key, r);
+        r
+    }
+
+    /// `a ∧ ¬b` (material non-implication) — the shape of the bridging-fault
+    /// difference `Δa = fa·¬fb` for an AND bridge, so it gets a helper.
+    pub fn and_not(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let nb = self.not(b);
+        self.and(a, nb)
+    }
+
+    /// `a ↔ b` (XNOR).
+    pub fn xnor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.xor(a, b);
+        self.not(x)
+    }
+
+    /// `¬(a ∧ b)`.
+    pub fn nand(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.and(a, b);
+        self.not(x)
+    }
+
+    /// `¬(a ∨ b)`.
+    pub fn nor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let x = self.or(a, b);
+        self.not(x)
+    }
+
+    /// If-then-else: `(f ∧ g) ∨ (¬f ∧ h)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    /// let mut m = Manager::new(3);
+    /// let s = m.var(0);
+    /// let a = m.var(1);
+    /// let b = m.var(2);
+    /// let mux = m.ite(s, a, b);
+    /// assert!(m.eval(mux, &[true, true, false]));
+    /// assert!(!m.eval(mux, &[false, true, false]));
+    /// ```
+    pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        if f.is_true() {
+            return g;
+        }
+        if f.is_false() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g.is_true() && h.is_false() {
+            return f;
+        }
+        if g.is_false() && h.is_true() {
+            return self.not(f);
+        }
+        let key = OpKey::Ite(f, g, h);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let lf = self.node_level(f);
+        let lg = self.node_level(g);
+        let lh = self.node_level(h);
+        let level = lf.min(lg).min(lh);
+        let var = self.var_at_level(level);
+        let split = |m: &Manager, n: NodeId, ln: u32| -> (NodeId, NodeId) {
+            if ln == level {
+                (m.node_lo(n), m.node_hi(n))
+            } else {
+                (n, n)
+            }
+        };
+        let (f0, f1) = split(self, f, lf);
+        let (g0, g1) = split(self, g, lg);
+        let (h0, h1) = split(self, h, lh);
+        let lo = self.ite(f0, g0, h0);
+        let hi = self.ite(f1, g1, h1);
+        let r = self.mk(var, lo, hi);
+        self.op_cache.insert(key, r);
+        r
+    }
+
+    /// The cofactor `f|_{v=value}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn restrict(&mut self, f: NodeId, v: Var, value: bool) -> NodeId {
+        assert!((v as usize) < self.num_vars(), "variable out of range");
+        if f.is_terminal() {
+            return f;
+        }
+        let vl = self.level_of(v);
+        let fl = self.node_level(f);
+        if fl > vl {
+            // v does not occur in f (everything at deeper levels is > vl).
+            return f;
+        }
+        let key = OpKey::Restrict(f, v, value);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let var = self.node_var(f);
+        let (lo, hi) = (self.node_lo(f), self.node_hi(f));
+        let r = if fl == vl {
+            if value {
+                hi
+            } else {
+                lo
+            }
+        } else {
+            let nlo = self.restrict(lo, v, value);
+            let nhi = self.restrict(hi, v, value);
+            self.mk(var, nlo, nhi)
+        };
+        self.op_cache.insert(key, r);
+        r
+    }
+
+    /// Functional composition `f[v := g]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn compose(&mut self, f: NodeId, v: Var, g: NodeId) -> NodeId {
+        assert!((v as usize) < self.num_vars(), "variable out of range");
+        let key = OpKey::Compose(f, v, g);
+        if let Some(&r) = self.op_cache.get(&key) {
+            return r;
+        }
+        let f0 = self.restrict(f, v, false);
+        let f1 = self.restrict(f, v, true);
+        let r = self.ite(g, f1, f0);
+        self.op_cache.insert(key, r);
+        r
+    }
+
+    /// Existential quantification `∃ vars . f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any variable is out of range or if `vars` contains more than
+    /// 64 distinct variables (the cache key packs the set into a word for the
+    /// circuit sizes in this workspace; quantify in chunks if you need more).
+    pub fn exists(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        self.quantify(f, vars, true)
+    }
+
+    /// Universal quantification `∀ vars . f`.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Manager::exists`].
+    pub fn forall(&mut self, f: NodeId, vars: &[Var]) -> NodeId {
+        self.quantify(f, vars, false)
+    }
+
+    fn quantify(&mut self, f: NodeId, vars: &[Var], existential: bool) -> NodeId {
+        if vars.is_empty() {
+            return f;
+        }
+        for &v in vars {
+            assert!((v as usize) < self.num_vars(), "variable out of range");
+        }
+        // Whole-call memoisation is only sound when the variable set packs
+        // losslessly into the cache key; otherwise fall through uncached
+        // (the per-step restrict/apply caches still help).
+        let mask = vars
+            .iter()
+            .all(|&v| v < 64)
+            .then(|| vars.iter().fold(0u64, |m, &v| m | 1u64 << v));
+        if let Some(mask) = mask {
+            let key = if existential {
+                OpKey::Exists(f, mask)
+            } else {
+                OpKey::Forall(f, mask)
+            };
+            if let Some(&r) = self.op_cache.get(&key) {
+                return r;
+            }
+        }
+        let mut r = f;
+        for &v in vars {
+            let r0 = self.restrict(r, v, false);
+            let r1 = self.restrict(r, v, true);
+            r = if existential {
+                self.or(r0, r1)
+            } else {
+                self.and(r0, r1)
+            };
+        }
+        if let Some(mask) = mask {
+            let key = if existential {
+                OpKey::Exists(f, mask)
+            } else {
+                OpKey::Forall(f, mask)
+            };
+            self.op_cache.insert(key, r);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_check(
+        m: &Manager,
+        f: NodeId,
+        n: usize,
+        expect: impl Fn(&[bool]) -> bool,
+    ) {
+        for bits in 0u32..(1 << n) {
+            let assignment: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                m.eval(f, &assignment),
+                expect(&assignment),
+                "mismatch at {assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_and_or_xor_truth_tables() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f_and = m.and(a, b);
+        let f_or = m.or(a, b);
+        let f_xor = m.xor(a, b);
+        exhaustive_check(&m, f_and, 2, |x| x[0] && x[1]);
+        exhaustive_check(&m, f_or, 2, |x| x[0] || x[1]);
+        exhaustive_check(&m, f_xor, 2, |x| x[0] ^ x[1]);
+    }
+
+    #[test]
+    fn derived_gates() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f_nand = m.nand(a, b);
+        let f_nor = m.nor(a, b);
+        let f_xnor = m.xnor(a, b);
+        let f_andnot = m.and_not(a, b);
+        exhaustive_check(&m, f_nand, 2, |x| !(x[0] && x[1]));
+        exhaustive_check(&m, f_nor, 2, |x| !(x[0] || x[1]));
+        exhaustive_check(&m, f_xnor, 2, |x| x[0] == x[1]);
+        exhaustive_check(&m, f_andnot, 2, |x| x[0] && !x[1]);
+    }
+
+    #[test]
+    fn not_is_involutive() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.xor(ab, c);
+        let nf = m.not(f);
+        let nnf = m.not(nf);
+        assert_eq!(f, nnf);
+        assert_ne!(f, nf);
+    }
+
+    #[test]
+    fn xor_with_true_is_not() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.or(a, b);
+        let x = m.xor(f, NodeId::TRUE);
+        let n = m.not(f);
+        assert_eq!(x, n);
+    }
+
+    #[test]
+    fn ite_is_mux() {
+        let mut m = Manager::new(3);
+        let s = m.var(0);
+        let a = m.var(1);
+        let b = m.var(2);
+        let f = m.ite(s, a, b);
+        exhaustive_check(&m, f, 3, |x| if x[0] { x[1] } else { x[2] });
+    }
+
+    #[test]
+    fn ite_terminal_cases() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        assert_eq!(m.ite(NodeId::TRUE, a, b), a);
+        assert_eq!(m.ite(NodeId::FALSE, a, b), b);
+        assert_eq!(m.ite(a, NodeId::TRUE, NodeId::FALSE), a);
+        let na = m.not(a);
+        assert_eq!(m.ite(a, NodeId::FALSE, NodeId::TRUE), na);
+        assert_eq!(m.ite(a, b, b), b);
+    }
+
+    #[test]
+    fn restrict_cofactors() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.restrict(f, 0, true), b);
+        assert_eq!(m.restrict(f, 0, false), NodeId::FALSE);
+        assert_eq!(m.restrict(f, 1, true), a);
+    }
+
+    #[test]
+    fn restrict_skips_absent_variable() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let c = m.var(2);
+        let f = m.or(a, c);
+        assert_eq!(m.restrict(f, 1, true), f);
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        // f = a ∧ b; f[b := (a ⊕ c)] = a ∧ (a ⊕ c) = a ∧ ¬c
+        let f = m.and(a, b);
+        let g = m.xor(a, c);
+        let h = m.compose(f, 1, g);
+        exhaustive_check(&m, h, 3, |x| x[0] && (x[0] ^ x[2]));
+    }
+
+    #[test]
+    fn exists_and_forall() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let e = m.exists(f, &[1]);
+        assert_eq!(e, a); // ∃b. a∧b = a
+        let u = m.forall(f, &[1]);
+        assert_eq!(u, NodeId::FALSE); // ∀b. a∧b = 0
+        let g = m.or(a, b);
+        let u2 = m.forall(g, &[1]);
+        assert_eq!(u2, a);
+        assert_eq!(m.exists(f, &[]), f);
+    }
+
+    #[test]
+    fn apply_respects_custom_order() {
+        // Same function under two orders must agree on all evaluations.
+        let mut m1 = Manager::new(3);
+        let mut m2 = Manager::with_order(&[2, 1, 0]).unwrap();
+        let build = |m: &mut Manager| {
+            let a = m.var(0);
+            let b = m.var(1);
+            let c = m.var(2);
+            let ab = m.and(a, b);
+            m.or(ab, c)
+        };
+        let f1 = build(&mut m1);
+        let f2 = build(&mut m2);
+        for bits in 0u32..8 {
+            let assignment: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(m1.eval(f1, &assignment), m2.eval(f2, &assignment));
+        }
+    }
+
+    #[test]
+    fn cache_hits_commute() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f1 = m.and(a, b);
+        let f2 = m.and(b, a);
+        assert_eq!(f1, f2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Variable-order helpers.
+//!
+//! The paper notes (§2.2) that the declared primary-input order of the
+//! benchmark netlists is "probably meaningful" for OBDD construction; circuit
+//! crates derive orders from structure (see `dp-netlist`), while this module
+//! provides the order-algebra helpers the manager needs.
+
+use crate::manager::Var;
+
+/// The identity order `[0, 1, ..., n-1]`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dp_bdd::identity_order(3), vec![0, 1, 2]);
+/// ```
+pub fn identity_order(n: usize) -> Vec<Var> {
+    (0..n as Var).collect()
+}
+
+/// Inverts a level→var permutation into var→level (or vice versa).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..order.len()`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dp_bdd::inverse_order(&[2, 0, 1]), vec![1, 2, 0]);
+/// ```
+pub fn inverse_order(order: &[Var]) -> Vec<Var> {
+    let mut inv = vec![u32::MAX; order.len()];
+    for (level, &v) in order.iter().enumerate() {
+        assert!(
+            (v as usize) < order.len() && inv[v as usize] == u32::MAX,
+            "order is not a permutation"
+        );
+        inv[v as usize] = level as Var;
+    }
+    inv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrips() {
+        let id = identity_order(5);
+        assert_eq!(inverse_order(&id), id);
+    }
+
+    #[test]
+    fn inverse_is_involutive() {
+        let order = vec![3, 1, 4, 0, 2];
+        assert_eq!(inverse_order(&inverse_order(&order)), order);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn inverse_rejects_duplicates() {
+        inverse_order(&[0, 0, 1]);
+    }
+}

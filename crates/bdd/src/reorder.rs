@@ -1,0 +1,327 @@
+//! Dynamic variable reordering: adjacent-level swaps and Rudell-style
+//! sifting.
+//!
+//! Variable order dominates OBDD size. [`Manager::swap_adjacent_levels`]
+//! exchanges two neighbouring levels *in place* — every externally held
+//! [`NodeId`] keeps denoting the same Boolean function — and
+//! [`Manager::sift`] walks each variable through all positions, keeping the
+//! best, which is the classical greedy minimisation.
+//!
+//! The in-place swap is sound because a rewritten node keeps its slot (and
+//! thus its id) while its decision variable and children change; the
+//! functions represented are untouched. See the module tests for the
+//! function-preservation properties.
+
+use std::collections::HashSet;
+
+use crate::manager::{Manager, NodeId, Var};
+
+impl Manager {
+    /// Swaps the variables at levels `level` and `level + 1` in place.
+    ///
+    /// All existing [`NodeId`]s continue to denote the same functions. The
+    /// operation cache is invalidated; dead nodes may be left behind for a
+    /// later [`Manager::gc`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level + 1 >= num_vars()`.
+    pub fn swap_adjacent_levels(&mut self, level: u32) {
+        let n = self.num_vars() as u32;
+        assert!(level + 1 < n, "cannot swap the last level down");
+        let u = self.var_at_level(level);
+        let v = self.var_at_level(level + 1);
+
+        // Snapshot the u-nodes; mk() may append new ones (which are v-free
+        // and need no rewrite).
+        let u_nodes: Vec<usize> = (2..self.nodes.len())
+            .filter(|&i| self.nodes[i].var == u)
+            .collect();
+
+        for idx in u_nodes {
+            let node = self.nodes[idx];
+            let (f1, f0) = (node.hi, node.lo);
+            let top_is_v = |m: &Manager, x: NodeId| !x.is_terminal() && m.nodes[x.index()].var == v;
+            if !top_is_v(self, f1) && !top_is_v(self, f0) {
+                // Independent of v: the node just migrates down with u.
+                continue;
+            }
+            // Cofactors with respect to v.
+            let (f11, f10) = if top_is_v(self, f1) {
+                (self.nodes[f1.index()].hi, self.nodes[f1.index()].lo)
+            } else {
+                (f1, f1)
+            };
+            let (f01, f00) = if top_is_v(self, f0) {
+                (self.nodes[f0.index()].hi, self.nodes[f0.index()].lo)
+            } else {
+                (f0, f0)
+            };
+            // F = v ? (u ? f11 : f01) : (u ? f10 : f00)
+            let hi = self.mk(u, f01, f11);
+            let lo = self.mk(u, f00, f10);
+            debug_assert_ne!(hi, lo, "a v-dependent node cannot lose v");
+            let old = self.nodes[idx];
+            self.unique.remove(&old);
+            let new = crate::manager::Node { var: v, lo, hi };
+            self.nodes[idx] = new;
+            let displaced = self.unique.insert(new, NodeId(idx as u32));
+            debug_assert!(
+                displaced.is_none(),
+                "level swap produced a duplicate node; canonicity violated"
+            );
+        }
+
+        self.swap_order_entries(level);
+        self.op_cache.clear();
+    }
+
+    /// Moves variable `var` to `target_level` by a sequence of adjacent
+    /// swaps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` or `target_level` is out of range.
+    pub fn move_var_to_level(&mut self, var: Var, target_level: u32) {
+        assert!((var as usize) < self.num_vars(), "variable out of range");
+        assert!(
+            (target_level as usize) < self.num_vars(),
+            "level out of range"
+        );
+        loop {
+            let current = self.level_of(var);
+            match current.cmp(&target_level) {
+                std::cmp::Ordering::Equal => break,
+                std::cmp::Ordering::Less => self.swap_adjacent_levels(current),
+                std::cmp::Ordering::Greater => self.swap_adjacent_levels(current - 1),
+            }
+        }
+    }
+
+    /// Number of internal nodes reachable from `roots` (the live size —
+    /// the quantity sifting minimises).
+    pub fn live_size(&self, roots: &[NodeId]) -> usize {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let node = self.nodes[x.index()];
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len()
+    }
+
+    /// Rudell's sifting: each variable in turn is moved through every level
+    /// and parked where the live size (over `roots`) is smallest. Returns
+    /// the final live size.
+    ///
+    /// `NodeId`s in `roots` (and all others) keep their meaning. Garbage
+    /// accumulates during the search; callers should [`Manager::gc`]
+    /// afterwards.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_bdd::Manager;
+    ///
+    /// // A function with a strongly order-sensitive BDD:
+    /// // (x0 ∧ x3) ∨ (x1 ∧ x4) ∨ (x2 ∧ x5) under the identity order.
+    /// let mut m = Manager::with_order(&[0, 1, 2, 3, 4, 5])?;
+    /// let mut f = m.constant(false);
+    /// for i in 0..3 {
+    ///     let a = m.var(i);
+    ///     let b = m.var(i + 3);
+    ///     let t = m.and(a, b);
+    ///     f = m.or(f, t);
+    /// }
+    /// let before = m.live_size(&[f]);
+    /// let after = m.sift(&[f]);
+    /// assert!(after < before); // sifting interleaves the pairs
+    /// # Ok::<(), dp_bdd::BddError>(())
+    /// ```
+    pub fn sift(&mut self, roots: &[NodeId]) -> usize {
+        let n = self.num_vars() as u32;
+        if n < 2 {
+            return self.live_size(roots);
+        }
+        // Sift variables in decreasing order of how many live nodes carry
+        // them (the standard heuristic).
+        let mut occupancy: Vec<(usize, Var)> = (0..n)
+            .map(|v| (self.live_nodes_with_var(roots, v), v))
+            .collect();
+        occupancy.sort_by_key(|&(count, _)| std::cmp::Reverse(count));
+
+        let mut best_total = self.live_size(roots);
+        for &(_, var) in &occupancy {
+            let start = self.level_of(var);
+            let mut best_level = start;
+            // Walk to the nearer end first, then sweep to the other end.
+            let (first_end, second_end) = if start <= n / 2 {
+                (0, n - 1)
+            } else {
+                (n - 1, 0)
+            };
+            for target in [first_end, second_end] {
+                let mut level = self.level_of(var);
+                while level != target {
+                    let next = if target > level { level + 1 } else { level - 1 };
+                    self.move_var_to_level(var, next);
+                    level = next;
+                    let size = self.live_size(roots);
+                    if size < best_total {
+                        best_total = size;
+                        best_level = level;
+                    }
+                }
+            }
+            self.move_var_to_level(var, best_level);
+            best_total = self.live_size(roots);
+        }
+        best_total
+    }
+
+    fn live_nodes_with_var(&self, roots: &[NodeId], var: Var) -> usize {
+        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        let mut count = 0;
+        while let Some(x) = stack.pop() {
+            if x.is_terminal() || !seen.insert(x) {
+                continue;
+            }
+            let node = self.nodes[x.index()];
+            if node.var == var {
+                count += 1;
+            }
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the order-sensitive function (x0∧x_k) ∨ (x1∧x_{k+1}) ∨ ... over
+    /// 2k variables.
+    fn disjoint_pairs(m: &mut Manager, k: u32) -> NodeId {
+        let mut f = NodeId::FALSE;
+        for i in 0..k {
+            let a = m.var(i);
+            let b = m.var(i + k);
+            let t = m.and(a, b);
+            f = m.or(f, t);
+        }
+        f
+    }
+
+    fn eval_all(m: &Manager, f: NodeId, n: usize) -> Vec<bool> {
+        (0u32..1 << n)
+            .map(|bits| {
+                let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                m.eval(f, &v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn swap_preserves_functions() {
+        let mut m = Manager::new(6);
+        let f = disjoint_pairs(&mut m, 3);
+        let a = m.var(1);
+        let b = m.var(4);
+        let g = m.xor(a, b);
+        let before_f = eval_all(&m, f, 6);
+        let before_g = eval_all(&m, g, 6);
+        for level in [0, 1, 4, 2, 3, 0, 4] {
+            m.swap_adjacent_levels(level);
+            assert_eq!(eval_all(&m, f, 6), before_f, "f broken at level {level}");
+            assert_eq!(eval_all(&m, g, 6), before_g, "g broken at level {level}");
+        }
+    }
+
+    #[test]
+    fn swap_is_involutive_on_order() {
+        let mut m = Manager::new(4);
+        let order_before = m.order().to_vec();
+        m.swap_adjacent_levels(1);
+        assert_ne!(m.order(), order_before.as_slice());
+        m.swap_adjacent_levels(1);
+        assert_eq!(m.order(), order_before.as_slice());
+    }
+
+    #[test]
+    fn swap_keeps_canonicity() {
+        // After swaps, rebuilding the same function must return the same id.
+        let mut m = Manager::new(4);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        m.swap_adjacent_levels(0);
+        m.swap_adjacent_levels(2);
+        let ab2 = m.and(a, b);
+        let f2 = m.or(ab2, c);
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn move_var_walks_both_directions() {
+        let mut m = Manager::new(5);
+        let f = disjoint_pairs(&mut m, 2);
+        let before = eval_all(&m, f, 5);
+        m.move_var_to_level(0, 4);
+        assert_eq!(m.level_of(0), 4);
+        m.move_var_to_level(0, 2);
+        assert_eq!(m.level_of(0), 2);
+        assert_eq!(eval_all(&m, f, 5), before);
+    }
+
+    #[test]
+    fn sift_shrinks_disjoint_pairs() {
+        // Under the identity order the pairs function needs ~2^k nodes;
+        // interleaved it is linear. Sifting must find a big win.
+        let mut m = Manager::new(8);
+        let f = disjoint_pairs(&mut m, 4);
+        let before_eval = eval_all(&m, f, 8);
+        let before = m.live_size(&[f]);
+        let after = m.sift(&[f]);
+        assert!(after < before, "sift did not shrink: {before} -> {after}");
+        assert!(after <= 12, "expected near-linear size, got {after}");
+        assert_eq!(eval_all(&m, f, 8), before_eval);
+    }
+
+    #[test]
+    fn sift_then_gc_keeps_roots() {
+        let mut m = Manager::new(6);
+        let f = disjoint_pairs(&mut m, 3);
+        let before = eval_all(&m, f, 6);
+        m.sift(&[f]);
+        let remap = m.gc(&[f]);
+        let f = remap.map(f);
+        assert_eq!(eval_all(&m, f, 6), before);
+    }
+
+    #[test]
+    fn live_size_counts_shared_structure_once() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let nab = m.not(ab);
+        assert!(m.live_size(&[ab, nab]) <= m.size(ab) + m.size(nab));
+        assert_eq!(m.live_size(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot swap the last level down")]
+    fn swap_rejects_last_level() {
+        let mut m = Manager::new(3);
+        m.swap_adjacent_levels(2);
+    }
+}

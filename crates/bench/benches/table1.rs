@@ -1,0 +1,54 @@
+//! Table 1: the gate difference equations, benchmarked against the naive
+//! faulty-function recomputation they replace.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dp_bdd::{Manager, NodeId};
+use dp_core::{delta_output, naive_delta_output};
+use dp_netlist::GateKind;
+use std::hint::black_box;
+
+/// A moderately complex (goods, deltas) workload over 12 variables.
+fn workload(m: &mut Manager) -> (Vec<NodeId>, Vec<NodeId>) {
+    let vars: Vec<NodeId> = (0..12).map(|i| m.var(i)).collect();
+    let g0 = m.and(vars[0], vars[1]);
+    let g1 = m.xor(g0, vars[2]);
+    let g2 = m.or(vars[3], vars[4]);
+    let g3 = m.xor(g2, vars[5]);
+    let d0 = m.and(vars[6], vars[7]);
+    let d1 = m.and_not(vars[8], vars[9]);
+    let goods = vec![g1, g3];
+    let deltas = vec![d0, d1];
+    (goods, deltas)
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for kind in [GateKind::And, GateKind::Or, GateKind::Xor] {
+        group.bench_function(format!("{kind}/table1"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = Manager::new(12);
+                    let (g, d) = workload(&mut m);
+                    (m, g, d)
+                },
+                |(mut m, g, d)| black_box(delta_output(&mut m, kind, &g, &d)),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(format!("{kind}/naive"), |b| {
+            b.iter_batched(
+                || {
+                    let mut m = Manager::new(12);
+                    let (g, d) = workload(&mut m);
+                    (m, g, d)
+                },
+                |(mut m, g, d)| black_box(naive_delta_output(&mut m, kind, &g, &d)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

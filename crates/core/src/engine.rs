@@ -1,0 +1,791 @@
+//! The Difference Propagation engine: selective-trace propagation of
+//! difference functions from fault sites to primary outputs.
+
+use std::collections::{BTreeSet, HashMap};
+
+use dp_bdd::{Cube, NodeId};
+use dp_faults::{BridgeKind, Fault, FaultSite, StuckAtFault};
+use dp_netlist::{Circuit, Driver, NetId};
+
+use crate::delta::{delta_output, naive_delta_output};
+use crate::good::GoodFunctions;
+
+/// Tuning knobs for [`DiffProp`] — the defaults reproduce the paper's
+/// algorithm; the alternatives exist for the ablation benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Skip gates whose input differences are all zero (the paper's
+    /// selective-trace analogy, §3). Turning this off processes every gate
+    /// in the fault sites' fanout cones.
+    pub selective_trace: bool,
+    /// Use the Table-1 ring-sum identities. When `false`, the engine
+    /// materialises faulty functions per gate and XORs with the good output
+    /// (the naive baseline).
+    pub table1: bool,
+    /// Garbage-collect the BDD manager (keeping only good functions) when
+    /// the node count exceeds this threshold at the start of an analysis.
+    pub gc_threshold: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            selective_trace: true,
+            table1: true,
+            gc_threshold: 2_000_000,
+        }
+    }
+}
+
+/// The result of analysing one fault: the complete test set and the exact
+/// metrics derived from it.
+///
+/// The `NodeId` handles reference the engine's BDD manager and stay valid
+/// until the *next* call to [`DiffProp::analyze`] (which may garbage-collect);
+/// the scalar fields are eagerly computed and always safe to keep.
+#[derive(Debug, Clone)]
+pub struct FaultAnalysis {
+    /// The fault analysed.
+    pub fault: Fault,
+    /// Difference function observed at each primary output (output order).
+    /// This is the complete test set *for that output*.
+    pub po_deltas: Vec<NodeId>,
+    /// Union over outputs: the complete test set of the fault.
+    pub test_set: NodeId,
+    /// Exact detection probability: `|test_set| / 2^n`.
+    pub detectability: f64,
+    /// Exact number of detecting vectors (when it fits in `u128`,
+    /// i.e. circuits of at most 127 inputs).
+    pub test_count: Option<u128>,
+    /// `observable_outputs[k]` is `true` when the fault is visible at output
+    /// `k` for some vector.
+    pub observable_outputs: Vec<bool>,
+    /// Whether the faulty function *at the site* is a constant — for a
+    /// bridging fault this is the paper's §4.2 test for "exhibits stuck-at
+    /// behaviour". Always `true` for stuck-at faults.
+    pub site_function_constant: bool,
+}
+
+impl FaultAnalysis {
+    /// `true` when at least one input vector detects the fault.
+    pub fn is_detectable(&self) -> bool {
+        !self.test_set.is_false()
+    }
+
+    /// Number of primary outputs at which the fault is observable.
+    pub fn num_observable(&self) -> usize {
+        self.observable_outputs.iter().filter(|&&b| b).count()
+    }
+}
+
+/// The result of analysing a **multiple stuck-at fault** (all components
+/// present simultaneously). Same validity rules as [`FaultAnalysis`].
+#[derive(Debug, Clone)]
+pub struct MultiFaultAnalysis {
+    /// The simultaneous stuck-at components.
+    pub components: Vec<StuckAtFault>,
+    /// Difference observed at each primary output.
+    pub po_deltas: Vec<NodeId>,
+    /// The complete test set of the multiple fault.
+    pub test_set: NodeId,
+    /// Exact detection probability.
+    pub detectability: f64,
+    /// Exact number of detecting vectors (circuits of ≤ 127 inputs).
+    pub test_count: Option<u128>,
+    /// Per-output observability flags.
+    pub observable_outputs: Vec<bool>,
+}
+
+impl MultiFaultAnalysis {
+    /// `true` when at least one input vector detects the multiple fault.
+    pub fn is_detectable(&self) -> bool {
+        !self.test_set.is_false()
+    }
+
+    /// Number of primary outputs at which the fault is observable.
+    pub fn num_observable(&self) -> usize {
+        self.observable_outputs.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Initialised fault-site state handed to the propagation core.
+#[derive(Debug, Default)]
+struct SiteInit {
+    /// Net-level pinned differences, keyed by net index.
+    deltas: HashMap<usize, NodeId>,
+    /// Pin-level pinned differences: (sink gate index, pin, delta).
+    branch_deltas: Vec<(usize, usize, NodeId)>,
+    /// Nets whose differences must never be recomputed.
+    site_nets: Vec<usize>,
+    /// Gates awaiting processing, in topological (index) order.
+    worklist: BTreeSet<usize>,
+}
+
+/// The Difference Propagation analyser for one circuit.
+///
+/// Builds the good functions once, then analyses any number of faults
+/// against them. See the [crate documentation](crate) for the method and an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct DiffProp<'c> {
+    circuit: &'c Circuit,
+    good: GoodFunctions,
+    config: EngineConfig,
+}
+
+impl<'c> DiffProp<'c> {
+    /// Creates an analyser with default configuration and declared-order
+    /// variables.
+    pub fn new(circuit: &'c Circuit) -> Self {
+        Self::with_config(circuit, EngineConfig::default())
+    }
+
+    /// Creates an analyser with an explicit configuration.
+    pub fn with_config(circuit: &'c Circuit, config: EngineConfig) -> Self {
+        DiffProp {
+            circuit,
+            good: GoodFunctions::build(circuit),
+            config,
+        }
+    }
+
+    /// Creates an analyser around pre-built good functions (e.g. with a
+    /// custom variable order).
+    pub fn with_good_functions(
+        circuit: &'c Circuit,
+        good: GoodFunctions,
+        config: EngineConfig,
+    ) -> Self {
+        DiffProp {
+            circuit,
+            good,
+            config,
+        }
+    }
+
+    /// The circuit under analysis.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+
+    /// The shared good functions (and BDD manager).
+    pub fn good(&self) -> &GoodFunctions {
+        &self.good
+    }
+
+    /// Mutable access to the good functions (syndrome queries allocate
+    /// memoisation entries).
+    pub fn good_mut(&mut self) -> &mut GoodFunctions {
+        &mut self.good
+    }
+
+    /// Analyses one fault: initialises its difference function(s) and
+    /// propagates them to the primary outputs, producing the complete test
+    /// set and the exact metrics.
+    ///
+    /// Any `NodeId` in a previously returned [`FaultAnalysis`] may be
+    /// invalidated by this call (the engine garbage-collects when past
+    /// [`EngineConfig::gc_threshold`]).
+    pub fn analyze(&mut self, fault: &Fault) -> FaultAnalysis {
+        if self.good.num_nodes() > self.config.gc_threshold {
+            self.good.gc();
+        }
+
+        // 1. Initialise site differences.
+        let mut init = SiteInit::default();
+        let site_function_constant;
+        match fault {
+            Fault::StuckAt(f) => {
+                site_function_constant = true;
+                self.init_stuck_at(f, &mut init);
+            }
+            Fault::Bridging(f) => {
+                let fa = self.good.node(f.a);
+                let fb = self.good.node(f.b);
+                let m = self.good.manager_mut();
+                let wired = match f.kind {
+                    BridgeKind::And => m.and(fa, fb),
+                    BridgeKind::Or => m.or(fa, fb),
+                };
+                site_function_constant = m.is_constant(wired);
+                let da = m.xor(fa, wired);
+                let db = m.xor(fb, wired);
+                init.deltas.insert(f.a.index(), da);
+                init.deltas.insert(f.b.index(), db);
+                init.site_nets.push(f.a.index());
+                init.site_nets.push(f.b.index());
+                for n in [f.a, f.b] {
+                    for &(sink, _) in self.circuit.fanout(n) {
+                        init.worklist.insert(sink.index());
+                    }
+                }
+            }
+        }
+
+        let (po_deltas, test_set, detectability, test_count, observable_outputs) =
+            self.propagate(init);
+        FaultAnalysis {
+            fault: *fault,
+            po_deltas,
+            test_set,
+            detectability,
+            test_count,
+            observable_outputs,
+            site_function_constant,
+        }
+    }
+
+    /// Analyses a **multiple stuck-at fault**: all `components` present
+    /// simultaneously. The paper's §3 claim — "any fault whose effects are
+    /// restricted to the logical domain can be addressed" — in action: each
+    /// site's difference is pinned and the fronts propagate (and interfere,
+    /// possibly masking each other) together.
+    ///
+    /// Downstream faulted sites stay pinned at their stuck value regardless
+    /// of upstream faults, exactly as in the multiple-fault model of Bossen
+    /// & Hong.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or lists the same site twice.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dp_core::DiffProp;
+    /// use dp_faults::checkpoint_faults;
+    /// use dp_netlist::generators::c17;
+    ///
+    /// let c = c17();
+    /// let faults = checkpoint_faults(&c);
+    /// let mut dp = DiffProp::new(&c);
+    /// let pair = [faults[0], faults[3]];
+    /// let multi = dp.analyze_multi_stuck_at(&pair);
+    /// // A double fault may be masked on vectors where each single fires.
+    /// assert!(multi.detectability <= 1.0);
+    /// ```
+    pub fn analyze_multi_stuck_at(&mut self, components: &[StuckAtFault]) -> MultiFaultAnalysis {
+        assert!(!components.is_empty(), "a multiple fault needs components");
+        for (i, a) in components.iter().enumerate() {
+            for b in &components[i + 1..] {
+                assert_ne!(a.site, b.site, "duplicate fault site {a}");
+            }
+        }
+        if self.good.num_nodes() > self.config.gc_threshold {
+            self.good.gc();
+        }
+        let mut init = SiteInit::default();
+        for f in components {
+            self.init_stuck_at(f, &mut init);
+        }
+        let (po_deltas, test_set, detectability, test_count, observable_outputs) =
+            self.propagate(init);
+        MultiFaultAnalysis {
+            components: components.to_vec(),
+            po_deltas,
+            test_set,
+            detectability,
+            test_count,
+            observable_outputs,
+        }
+    }
+
+    /// Adds one stuck-at component's pinned difference to a site
+    /// initialisation.
+    fn init_stuck_at(&mut self, f: &StuckAtFault, init: &mut SiteInit) {
+        let stem = f.site.net();
+        let fs = self.good.node(stem);
+        let m = self.good.manager_mut();
+        // Δ = f ⊕ v: the fault is excited where the line differs from its
+        // stuck value.
+        let delta = if f.value { m.not(fs) } else { fs };
+        match f.site {
+            FaultSite::Net(n) => {
+                init.deltas.insert(n.index(), delta);
+                init.site_nets.push(n.index());
+                for &(sink, _) in self.circuit.fanout(n) {
+                    init.worklist.insert(sink.index());
+                }
+                // A primary-input net that is also an output is directly
+                // observable; po_deltas picks it up from the map.
+            }
+            FaultSite::Branch(b) => {
+                init.branch_deltas.push((b.sink.index(), b.pin, delta));
+                init.worklist.insert(b.sink.index());
+            }
+        }
+    }
+
+    /// Event-driven propagation in topological (index) order. Nets are
+    /// stored fanins-before-fanouts, so ascending index order guarantees
+    /// every fanin difference is final when a gate is processed.
+    #[allow(clippy::type_complexity)]
+    fn propagate(
+        &mut self,
+        init: SiteInit,
+    ) -> (Vec<NodeId>, NodeId, f64, Option<u128>, Vec<bool>) {
+        let circuit = self.circuit;
+        let SiteInit {
+            mut deltas,
+            branch_deltas,
+            site_nets,
+            mut worklist,
+        } = init;
+        let mut goods_buf: Vec<NodeId> = Vec::new();
+        let mut deltas_buf: Vec<NodeId> = Vec::new();
+        while let Some(idx) = worklist.pop_first() {
+            if site_nets.contains(&idx) {
+                continue; // site differences are fixed by the fault model
+            }
+            let net = NetId::from_index(idx);
+            let Driver::Gate { kind, fanins } = circuit.driver(net) else {
+                continue;
+            };
+            goods_buf.clear();
+            deltas_buf.clear();
+            for (pin, f) in fanins.iter().enumerate() {
+                goods_buf.push(self.good.node(*f));
+                // A pinned branch overrides whatever its stem carries.
+                let branch = branch_deltas
+                    .iter()
+                    .find(|&&(sink, p, _)| sink == idx && p == pin)
+                    .map(|&(_, _, d)| d);
+                let d = branch
+                    .unwrap_or_else(|| deltas.get(&f.index()).copied().unwrap_or(NodeId::FALSE));
+                deltas_buf.push(d);
+            }
+            if self.config.selective_trace && deltas_buf.iter().all(|d| d.is_false()) {
+                continue;
+            }
+            let m = self.good.manager_mut();
+            let dg = if self.config.table1 {
+                delta_output(m, *kind, &goods_buf, &deltas_buf)
+            } else {
+                naive_delta_output(m, *kind, &goods_buf, &deltas_buf)
+            };
+            if !dg.is_false() || !self.config.selective_trace {
+                deltas.insert(idx, dg);
+                // Selective trace stops the frontier at zero differences;
+                // with it off, the whole fanout cone is processed (the
+                // exhaustive alternative the paper's §3 improves on).
+                if !dg.is_false() || !self.config.selective_trace {
+                    for &(sink, _) in circuit.fanout(net) {
+                        worklist.insert(sink.index());
+                    }
+                }
+            }
+        }
+
+        // Collect per-output differences; the union is the complete test
+        // set. A branch fault never reaches its own stem's PO directly.
+        let po_deltas: Vec<NodeId> = circuit
+            .outputs()
+            .iter()
+            .map(|o| deltas.get(&o.index()).copied().unwrap_or(NodeId::FALSE))
+            .collect();
+        let m = self.good.manager_mut();
+        let mut test_set = NodeId::FALSE;
+        for &d in &po_deltas {
+            test_set = m.or(test_set, d);
+        }
+        let detectability = m.density(test_set);
+        let test_count = (m.num_vars() <= 127).then(|| m.sat_count(test_set));
+        let observable_outputs = po_deltas.iter().map(|d| !d.is_false()).collect();
+        (po_deltas, test_set, detectability, test_count, observable_outputs)
+    }
+
+    /// One explicit test vector for the fault, or `None` if undetectable.
+    pub fn pick_test(&self, analysis: &FaultAnalysis) -> Option<Vec<bool>> {
+        self.good.manager().pick_minterm(analysis.test_set)
+    }
+
+    /// One satisfying vector of an arbitrary test-set BDD from this engine
+    /// (e.g. a [`MultiFaultAnalysis::test_set`] or a per-output delta).
+    pub fn pick_vector(&self, test_set: NodeId) -> Option<Vec<bool>> {
+        self.good.manager().pick_minterm(test_set)
+    }
+
+    /// The cubes of the complete test set (each cube's completions are all
+    /// tests).
+    pub fn test_cubes(&self, analysis: &FaultAnalysis) -> Vec<Cube> {
+        self.good.manager().cubes(analysis.test_set).collect()
+    }
+
+    /// The syndrome of a net (fraction of vectors setting it to 1).
+    pub fn syndrome(&mut self, n: NetId) -> f64 {
+        self.good.syndrome(n)
+    }
+
+    /// The paper's detectability upper bound for a stuck-at fault: the
+    /// syndrome of the faulted line (stuck-at-0) or its complement
+    /// (stuck-at-1). `None` for bridging faults, which have no single-line
+    /// excitation bound.
+    pub fn detectability_bound(&mut self, fault: &Fault) -> Option<f64> {
+        match fault {
+            Fault::StuckAt(f) => {
+                let s = self.good.syndrome(f.site.net());
+                Some(if f.value { 1.0 - s } else { s })
+            }
+            Fault::Bridging(_) => None,
+        }
+    }
+
+    /// The paper's *adherence* `a = δ / u`: the share of excitation minterms
+    /// that are actually tests. `None` for bridging faults or when the bound
+    /// is zero (the fault cannot be excited at all).
+    pub fn adherence(&mut self, analysis: &FaultAnalysis) -> Option<f64> {
+        let u = self.detectability_bound(&analysis.fault)?;
+        (u > 0.0).then(|| analysis.detectability / u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_faults::{checkpoint_faults, enumerate_nfbfs, BridgingFault, StuckAtFault};
+    use dp_netlist::generators::{c17, c95, full_adder};
+    use dp_sim::exhaustive_detectability;
+
+    /// DP's exact counts must equal brute-force simulation for every
+    /// checkpoint fault of a circuit.
+    fn cross_validate_stuck_at(circuit: &Circuit) {
+        let mut dp = DiffProp::new(circuit);
+        for f in checkpoint_faults(circuit) {
+            let fault = Fault::from(f);
+            let analysis = dp.analyze(&fault);
+            let (det, total) = exhaustive_detectability(circuit, &fault);
+            assert_eq!(
+                analysis.test_count,
+                Some(det as u128),
+                "{fault} on {}",
+                circuit.name()
+            );
+            let exact = det as f64 / total as f64;
+            assert!((analysis.detectability - exact).abs() < 1e-12);
+        }
+    }
+
+    fn cross_validate_bridging(circuit: &Circuit) {
+        let mut dp = DiffProp::new(circuit);
+        for kind in [BridgeKind::And, BridgeKind::Or] {
+            for f in enumerate_nfbfs(circuit, kind) {
+                let fault = Fault::from(f);
+                let analysis = dp.analyze(&fault);
+                let (det, _) = exhaustive_detectability(circuit, &fault);
+                assert_eq!(
+                    analysis.test_count,
+                    Some(det as u128),
+                    "{fault} on {}",
+                    circuit.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stuck_at_matches_simulation_c17() {
+        cross_validate_stuck_at(&c17());
+    }
+
+    #[test]
+    fn stuck_at_matches_simulation_full_adder() {
+        cross_validate_stuck_at(&full_adder());
+    }
+
+    #[test]
+    fn stuck_at_matches_simulation_c95() {
+        cross_validate_stuck_at(&c95());
+    }
+
+    #[test]
+    fn bridging_matches_simulation_c17() {
+        cross_validate_bridging(&c17());
+    }
+
+    #[test]
+    fn bridging_matches_simulation_full_adder() {
+        cross_validate_bridging(&full_adder());
+    }
+
+    #[test]
+    fn every_test_vector_detects() {
+        let c = c95();
+        let mut dp = DiffProp::new(&c);
+        for f in checkpoint_faults(&c).into_iter().take(10) {
+            let fault = Fault::from(f);
+            let analysis = dp.analyze(&fault);
+            if let Some(v) = dp.pick_test(&analysis) {
+                assert!(dp_sim::detects(&c, &fault, &v), "{fault}");
+            }
+            // All cube completions are tests.
+            for cube in dp.test_cubes(&analysis).into_iter().take(3) {
+                assert!(dp_sim::detects(&c, &fault, &cube.to_vector(false)));
+                assert!(dp_sim::detects(&c, &fault, &cube.to_vector(true)));
+            }
+        }
+    }
+
+    #[test]
+    fn observable_outputs_match_po_deltas() {
+        let c = c17();
+        let mut dp = DiffProp::new(&c);
+        for f in checkpoint_faults(&c) {
+            let analysis = dp.analyze(&Fault::from(f));
+            for (k, &d) in analysis.po_deltas.iter().enumerate() {
+                assert_eq!(analysis.observable_outputs[k], !d.is_false());
+            }
+            assert!(analysis.num_observable() <= c.num_outputs());
+        }
+    }
+
+    #[test]
+    fn adherence_is_bounded_by_one() {
+        let c = c95();
+        let mut dp = DiffProp::new(&c);
+        for f in checkpoint_faults(&c) {
+            let analysis = dp.analyze(&Fault::from(f));
+            if let Some(a) = dp.adherence(&analysis) {
+                assert!((0.0..=1.0 + 1e-12).contains(&a), "adherence {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn po_fault_has_adherence_one() {
+        // A stuck-at on a PO net: every excitation vector is a test.
+        let c = full_adder();
+        let sum = c.outputs()[0];
+        let fault = Fault::from(StuckAtFault {
+            site: dp_faults::FaultSite::Net(sum),
+            value: false,
+        });
+        // PO nets are not checkpoints, but DP handles any site.
+        let mut dp = DiffProp::new(&c);
+        let analysis = dp.analyze(&fault);
+        let a = dp.adherence(&analysis).expect("stuck-at has a bound");
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selective_trace_off_agrees() {
+        let c = c17();
+        let mut dp1 = DiffProp::new(&c);
+        let mut dp2 = DiffProp::with_config(
+            &c,
+            EngineConfig {
+                selective_trace: false,
+                ..Default::default()
+            },
+        );
+        for f in checkpoint_faults(&c) {
+            let a1 = dp1.analyze(&Fault::from(f));
+            let a2 = dp2.analyze(&Fault::from(f));
+            assert_eq!(a1.test_count, a2.test_count, "{f}");
+        }
+    }
+
+    #[test]
+    fn naive_mode_agrees() {
+        let c = full_adder();
+        let mut dp1 = DiffProp::new(&c);
+        let mut dp2 = DiffProp::with_config(
+            &c,
+            EngineConfig {
+                table1: false,
+                ..Default::default()
+            },
+        );
+        for kind in [BridgeKind::And, BridgeKind::Or] {
+            for f in enumerate_nfbfs(&c, kind) {
+                let a1 = dp1.analyze(&Fault::from(f));
+                let a2 = dp2.analyze(&Fault::from(f));
+                assert_eq!(a1.test_count, a2.test_count, "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_site_constant_flag() {
+        // Bridge between a net and its complement is stuck-at-like:
+        // AND(x, ¬x) = 0 everywhere.
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let nx = b.not("nx", x).unwrap();
+        let g1 = b.gate("g1", GateKind::And, &[x, y]).unwrap();
+        let g2 = b.gate("g2", GateKind::Or, &[nx, y]).unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let mut dp = DiffProp::new(&c);
+        // x and nx bridged: wired-AND gives constant 0.
+        let f = Fault::from(BridgingFault::new(x, nx, BridgeKind::And));
+        let analysis = dp.analyze(&f);
+        assert!(analysis.site_function_constant);
+        // x and y bridged: wired value x·y is not constant.
+        let f2 = Fault::from(BridgingFault::new(x, y, BridgeKind::And));
+        let analysis2 = dp.analyze(&f2);
+        assert!(!analysis2.site_function_constant);
+    }
+
+    #[test]
+    fn undetectable_fault_reports_empty_test_set() {
+        // Redundant logic: g = (x AND y) OR (x AND NOT y) = x; a stuck-at-0
+        // on the OR output is detectable, but stuck faults inside can be
+        // redundant. Use branch fault that cannot propagate: y branch into
+        // the pair cancels. Simpler: x OR (x AND y): the AND-gate output
+        // stuck-at-0 is undetectable.
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("red");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.gate("a", GateKind::And, &[x, y]).unwrap();
+        let o = b.gate("o", GateKind::Or, &[x, a]).unwrap();
+        b.output(o);
+        let c = b.finish().unwrap();
+        let mut dp = DiffProp::new(&c);
+        let fault = Fault::from(StuckAtFault {
+            site: dp_faults::FaultSite::Net(a),
+            value: false,
+        });
+        let analysis = dp.analyze(&fault);
+        assert!(!analysis.is_detectable());
+        assert_eq!(analysis.test_count, Some(0));
+        assert!(dp.pick_test(&analysis).is_none());
+    }
+
+    #[test]
+    fn multi_stuck_at_matches_simulation() {
+        use dp_sim::exhaustive_multi_detectability;
+        for circuit in [c17(), full_adder(), c95()] {
+            let faults = checkpoint_faults(&circuit);
+            let mut dp = DiffProp::new(&circuit);
+            // All adjacent pairs plus a few triples.
+            for w in faults.windows(2) {
+                if w[0].site == w[1].site {
+                    continue;
+                }
+                let analysis = dp.analyze_multi_stuck_at(w);
+                let (det, _) = exhaustive_multi_detectability(&circuit, w);
+                assert_eq!(
+                    analysis.test_count,
+                    Some(det as u128),
+                    "{} + {} on {}",
+                    w[0],
+                    w[1],
+                    circuit.name()
+                );
+            }
+            for w in faults.chunks(3).take(5) {
+                if w.len() < 3 || w[0].site == w[1].site || w[1].site == w[2].site {
+                    continue;
+                }
+                let analysis = dp.analyze_multi_stuck_at(w);
+                let (det, _) = exhaustive_multi_detectability(&circuit, w);
+                assert_eq!(analysis.test_count, Some(det as u128));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_fault_can_mask_components() {
+        // x s-a-0 together with x s-a-1 is impossible (same site) — use two
+        // sites whose effects cancel at the XOR: a s-a-0 and b s-a-0 on
+        // inputs of an XOR mask each other exactly when a = b = 1.
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("mask");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate("g", GateKind::Xor, &[x, y]).unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let f1 = StuckAtFault {
+            site: dp_faults::FaultSite::Net(x),
+            value: false,
+        };
+        let f2 = StuckAtFault {
+            site: dp_faults::FaultSite::Net(y),
+            value: false,
+        };
+        let mut dp = DiffProp::new(&c);
+        let single = dp.analyze(&Fault::from(f1));
+        let double = dp.analyze_multi_stuck_at(&[f1, f2]);
+        // Single fault: detected whenever x = 1 (2 of 4 vectors).
+        assert_eq!(single.test_count, Some(2));
+        // Double fault: x=1,y=0 and x=0,y=1 detect; x=y=1 masks.
+        assert_eq!(double.test_count, Some(2));
+        let v = dp.pick_vector(double.test_set).unwrap();
+        assert_ne!(v, vec![true, true], "masked vector must not be picked");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fault site")]
+    fn multi_fault_rejects_duplicate_sites() {
+        let c = c17();
+        let f = checkpoint_faults(&c)[0];
+        let other = StuckAtFault {
+            site: f.site,
+            value: !f.value,
+        };
+        let mut dp = DiffProp::new(&c);
+        dp.analyze_multi_stuck_at(&[f, other]);
+    }
+
+    #[test]
+    fn aggressive_gc_threshold_does_not_change_results() {
+        // A threshold below the good-function size forces a collection on
+        // every analysis; results must be identical to the default engine.
+        let c = c95();
+        let mut relaxed = DiffProp::new(&c);
+        let mut aggressive = DiffProp::with_config(
+            &c,
+            EngineConfig {
+                gc_threshold: 1,
+                ..Default::default()
+            },
+        );
+        for f in checkpoint_faults(&c) {
+            let a = relaxed.analyze(&Fault::from(f));
+            let b = aggressive.analyze(&Fault::from(f));
+            assert_eq!(a.test_count, b.test_count, "{f}");
+            assert_eq!(a.observable_outputs, b.observable_outputs);
+        }
+    }
+
+    #[test]
+    fn syndrome_and_bound_relationships() {
+        // detectability_bound(s-a-0) + detectability_bound(s-a-1) = 1 for
+        // net faults (syndrome and its complement partition the space).
+        let c = c95();
+        let mut dp = DiffProp::new(&c);
+        for f in checkpoint_faults(&c).into_iter().take(30) {
+            let f0 = Fault::from(StuckAtFault { site: f.site, value: false });
+            let f1 = Fault::from(StuckAtFault { site: f.site, value: true });
+            let b0 = dp.detectability_bound(&f0).unwrap();
+            let b1 = dp.detectability_bound(&f1).unwrap();
+            assert!((b0 + b1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pi_that_is_also_po_is_directly_observable() {
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("pipo");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate("g", GateKind::And, &[x, y]).unwrap();
+        b.output(x);
+        b.output(g);
+        let c = b.finish().unwrap();
+        let mut dp = DiffProp::new(&c);
+        let fault = Fault::from(StuckAtFault {
+            site: dp_faults::FaultSite::Net(x),
+            value: false,
+        });
+        let analysis = dp.analyze(&fault);
+        assert!(analysis.observable_outputs[0], "PI observable at its PO");
+        // Detectable whenever x = 1 (half the vectors at least).
+        assert!(analysis.detectability >= 0.5);
+    }
+}

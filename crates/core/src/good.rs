@@ -1,0 +1,298 @@
+//! Good (fault-free) net functions as OBDDs, plus syndromes.
+
+use dp_bdd::{Manager, NodeId, Var};
+use dp_netlist::{Circuit, Driver, GateKind, NetId};
+
+/// The fault-free Boolean function of every net of a circuit, built once and
+/// shared by all fault analyses.
+///
+/// The OBDD variable `i` is the circuit's `i`-th primary input in declared
+/// order — the paper's §2.2 argues the benchmark input order is meaningful,
+/// and it works well for all generated circuits.
+///
+/// # Examples
+///
+/// ```
+/// use dp_core::GoodFunctions;
+/// use dp_netlist::generators::c17;
+///
+/// let c = c17();
+/// let mut good = GoodFunctions::build(&c);
+/// let n22 = c.outputs()[0];
+/// // Syndrome: the fraction of input vectors driving the net to 1.
+/// let s = good.syndrome(n22);
+/// assert!(s > 0.0 && s < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct GoodFunctions {
+    manager: Manager,
+    funcs: Vec<NodeId>,
+    /// Cut nets when built decomposed (see the `decomp` module); empty for
+    /// exact builds.
+    cut_nets: Vec<NetId>,
+}
+
+impl GoodFunctions {
+    /// Assembles a `GoodFunctions` from raw parts (decomposition builder).
+    pub(crate) fn from_parts(
+        manager: Manager,
+        funcs: Vec<NodeId>,
+        cut_nets: Vec<NetId>,
+    ) -> Self {
+        GoodFunctions {
+            manager,
+            funcs,
+            cut_nets,
+        }
+    }
+
+    /// `true` when built with cut points — analyses over these functions
+    /// are approximations (paper \[21\]; see the `decomp` module docs).
+    pub fn is_decomposed(&self) -> bool {
+        !self.cut_nets.is_empty()
+    }
+
+    /// The cut nets of a decomposed build (empty when exact).
+    pub fn cut_nets(&self) -> &[NetId] {
+        &self.cut_nets
+    }
+    /// Builds the good functions with the declared-input-order variable
+    /// assignment.
+    pub fn build(circuit: &Circuit) -> Self {
+        let order: Vec<Var> = (0..circuit.num_inputs() as Var).collect();
+        Self::build_with_order(circuit, &order)
+    }
+
+    /// Builds the good functions with an explicit variable order: `order[l]`
+    /// is the *input index* (position in [`Circuit::inputs`]) placed at OBDD
+    /// level `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_inputs()`.
+    pub fn build_with_order(circuit: &Circuit, order: &[Var]) -> Self {
+        assert_eq!(order.len(), circuit.num_inputs(), "order length mismatch");
+        let mut manager = Manager::with_order(order).expect("order must be a permutation");
+        let mut funcs = vec![NodeId::FALSE; circuit.num_nets()];
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            funcs[pi.index()] = manager.var(i as Var);
+        }
+        for n in circuit.nets() {
+            if let Driver::Gate { kind, fanins } = circuit.driver(n) {
+                let inputs: Vec<NodeId> = fanins.iter().map(|f| funcs[f.index()]).collect();
+                funcs[n.index()] = build_gate(&mut manager, *kind, &inputs);
+            }
+        }
+        GoodFunctions {
+            manager,
+            funcs,
+            cut_nets: Vec::new(),
+        }
+    }
+
+    /// The OBDD of a net's good function.
+    pub fn node(&self, n: NetId) -> NodeId {
+        self.funcs[n.index()]
+    }
+
+    /// All net functions, indexed by [`NetId::index`].
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.funcs
+    }
+
+    /// The syndrome of a net (Savir): the fraction of input vectors that set
+    /// it to 1. For a stuck-at-0 fault on the net this upper-bounds the
+    /// detectability; for stuck-at-1 the bound is `1 − syndrome`.
+    pub fn syndrome(&mut self, n: NetId) -> f64 {
+        let node = self.funcs[n.index()];
+        self.manager.density(node)
+    }
+
+    /// Shared access to the manager (for counting, cube extraction, ...).
+    pub fn manager(&self) -> &Manager {
+        &self.manager
+    }
+
+    /// Mutable access to the manager (difference propagation allocates new
+    /// nodes in the same space so the good functions stay shared).
+    pub fn manager_mut(&mut self) -> &mut Manager {
+        &mut self.manager
+    }
+
+    /// Total BDD nodes currently allocated (a cost metric for experiments).
+    pub fn num_nodes(&self) -> usize {
+        self.manager.num_nodes()
+    }
+
+    /// Garbage-collects everything except the good functions themselves.
+    /// Any externally held `NodeId` (e.g. in a
+    /// [`FaultAnalysis`](crate::FaultAnalysis)) is invalidated.
+    pub fn gc(&mut self) {
+        let remap = self.manager.gc(&self.funcs.clone());
+        for f in &mut self.funcs {
+            *f = remap.map(*f);
+        }
+    }
+
+    /// Runs sifting-based dynamic variable reordering over the good
+    /// functions and garbage-collects. Returns `(live nodes before, after)`.
+    ///
+    /// Net handles stay valid (sifting rewrites nodes in place); any
+    /// externally held analysis `NodeId`s are invalidated by the trailing
+    /// collection.
+    pub fn sift(&mut self) -> (usize, usize) {
+        let roots = self.funcs.clone();
+        let before = self.manager.live_size(&roots);
+        let after = self.manager.sift(&roots);
+        self.gc();
+        (before, after)
+    }
+}
+
+/// Builds a gate function over already-built fanin BDDs.
+pub(crate) fn build_gate(manager: &mut Manager, kind: GateKind, inputs: &[NodeId]) -> NodeId {
+    match kind {
+        GateKind::Not => manager.not(inputs[0]),
+        GateKind::Buf => inputs[0],
+        GateKind::And | GateKind::Nand => {
+            let mut acc = inputs[0];
+            for &x in &inputs[1..] {
+                acc = manager.and(acc, x);
+            }
+            if kind == GateKind::Nand {
+                manager.not(acc)
+            } else {
+                acc
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut acc = inputs[0];
+            for &x in &inputs[1..] {
+                acc = manager.or(acc, x);
+            }
+            if kind == GateKind::Nor {
+                manager.not(acc)
+            } else {
+                acc
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            let mut acc = inputs[0];
+            for &x in &inputs[1..] {
+                acc = manager.xor(acc, x);
+            }
+            if kind == GateKind::Xnor {
+                manager.not(acc)
+            } else {
+                acc
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::{alu74181, c17, c95, full_adder};
+
+    /// The BDD of every net must agree with direct circuit evaluation.
+    fn check_circuit(circuit: &Circuit, vectors: impl Iterator<Item = Vec<bool>>) {
+        let good = GoodFunctions::build(circuit);
+        for v in vectors {
+            let values = circuit.eval_all(&v);
+            for n in circuit.nets() {
+                assert_eq!(
+                    good.manager().eval(good.node(n), &v),
+                    values[n.index()],
+                    "net {} of {} at {:?}",
+                    circuit.net_name(n),
+                    circuit.name(),
+                    v
+                );
+            }
+        }
+    }
+
+    fn exhaustive(n: usize) -> impl Iterator<Item = Vec<bool>> {
+        (0u32..1 << n).map(move |bits| (0..n).map(|i| bits >> i & 1 == 1).collect())
+    }
+
+    #[test]
+    fn c17_functions_exact() {
+        check_circuit(&c17(), exhaustive(5));
+    }
+
+    #[test]
+    fn full_adder_functions_exact() {
+        check_circuit(&full_adder(), exhaustive(3));
+    }
+
+    #[test]
+    fn c95_functions_exact() {
+        check_circuit(&c95(), exhaustive(9));
+    }
+
+    #[test]
+    fn alu_functions_sampled() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(181);
+        let vectors = (0..200).map(move |_| (0..14).map(|_| rng.random()).collect());
+        check_circuit(&alu74181(), vectors);
+    }
+
+    #[test]
+    fn syndrome_of_inputs_is_half() {
+        let c = c17();
+        let mut good = GoodFunctions::build(&c);
+        for &pi in c.inputs() {
+            assert_eq!(good.syndrome(pi), 0.5);
+        }
+    }
+
+    #[test]
+    fn custom_order_same_functions() {
+        let c = full_adder();
+        let g1 = GoodFunctions::build(&c);
+        let g2 = GoodFunctions::build_with_order(&c, &[2, 0, 1]);
+        for v in exhaustive(3) {
+            for n in c.nets() {
+                assert_eq!(
+                    g1.manager().eval(g1.node(n), &v),
+                    g2.manager().eval(g2.node(n), &v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sift_preserves_functions_and_may_shrink() {
+        let c = alu74181();
+        let mut good = GoodFunctions::build(&c);
+        let reference: Vec<f64> = c
+            .nets()
+            .map(|n| good.manager().density(good.node(n)))
+            .collect();
+        let (before, after) = good.sift();
+        assert!(after <= before, "sift grew the manager: {before} -> {after}");
+        let check: Vec<f64> = c
+            .nets()
+            .map(|n| good.manager().density(good.node(n)))
+            .collect();
+        assert_eq!(reference, check);
+    }
+
+    #[test]
+    fn gc_preserves_good_functions() {
+        let c = c95();
+        let mut good = GoodFunctions::build(&c);
+        let before: Vec<f64> = c.nets().map(|n| good.manager().density(good.node(n))).collect();
+        // Allocate garbage.
+        let a = good.manager_mut().var(0);
+        let b = good.manager_mut().var(5);
+        let _t = good.manager_mut().xor(a, b);
+        good.gc();
+        let after: Vec<f64> = c.nets().map(|n| good.manager().density(good.node(n))).collect();
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,116 @@
+//! Exact redundancy identification.
+//!
+//! A stuck-at fault with an empty complete test set is *redundant*: no
+//! input vector can ever expose it, so the faulted line's value never
+//! matters under that polarity. Difference Propagation decides this
+//! exactly and without backtracking — the capability the paper's §3 cites
+//! as the strength of the function-based approach (CATAPULT and the
+//! budget-constrained hard-fault work of its references [13] and [14]).
+
+use dp_faults::{all_stuck_faults, Fault, StuckAtFault};
+use dp_netlist::Circuit;
+
+use crate::engine::DiffProp;
+
+/// A full redundancy report for a circuit.
+#[derive(Debug, Clone)]
+pub struct RedundancyReport {
+    /// Every undetectable single stuck-at fault (net sites, both
+    /// polarities).
+    pub redundant: Vec<StuckAtFault>,
+    /// Number of faults examined (2 × nets).
+    pub examined: usize,
+}
+
+impl RedundancyReport {
+    /// `true` when the circuit is fully irredundant (every single stuck-at
+    /// fault on every net is detectable).
+    pub fn is_irredundant(&self) -> bool {
+        self.redundant.is_empty()
+    }
+}
+
+/// Proves, for every net and polarity, whether the stuck-at fault is
+/// detectable; returns the undetectable ones.
+///
+/// # Examples
+///
+/// ```
+/// use dp_core::find_redundancies;
+/// use dp_netlist::generators::c17;
+///
+/// let report = find_redundancies(&c17());
+/// assert!(report.is_irredundant()); // c17 is a classic irredundant netlist
+/// assert_eq!(report.examined, 22);  // 11 nets × 2 polarities
+/// ```
+pub fn find_redundancies(circuit: &Circuit) -> RedundancyReport {
+    let mut dp = DiffProp::new(circuit);
+    let faults = all_stuck_faults(circuit);
+    let examined = faults.len();
+    let redundant = faults
+        .into_iter()
+        .filter(|&f| !dp.analyze(&Fault::from(f)).is_detectable())
+        .collect();
+    RedundancyReport {
+        redundant,
+        examined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::{alu74181, c17, c95, full_adder};
+    use dp_netlist::{CircuitBuilder, GateKind};
+
+    #[test]
+    fn small_benchmarks_are_irredundant() {
+        for c in [c17(), full_adder(), c95()] {
+            let report = find_redundancies(&c);
+            assert!(
+                report.is_irredundant(),
+                "{}: {:?}",
+                c.name(),
+                report.redundant
+            );
+        }
+    }
+
+    #[test]
+    fn classic_redundancy_is_found() {
+        // o = x ∨ (x ∧ y) = x: the AND output s-a-0 is undetectable, and
+        // the input y — which the function does not depend on at all — is
+        // redundant in both polarities. The AND output s-a-1 *is*
+        // detectable (it forces o = 1 at x = 0).
+        let mut b = CircuitBuilder::new("red");
+        let x = b.input("x");
+        let y = b.input("y");
+        let a = b.gate("a", GateKind::And, &[x, y]).unwrap();
+        let o = b.gate("o", GateKind::Or, &[x, a]).unwrap();
+        b.output(o);
+        let c = b.finish().unwrap();
+        let report = find_redundancies(&c);
+        assert_eq!(report.examined, 8);
+        assert!(!report.is_irredundant());
+        let mut found: Vec<(dp_netlist::NetId, bool)> = report
+            .redundant
+            .iter()
+            .map(|f| (f.site.net(), f.value))
+            .collect();
+        found.sort();
+        assert_eq!(found, vec![(y, false), (y, true), (a, false)]);
+    }
+
+    #[test]
+    fn report_agrees_with_simulation() {
+        let c = alu74181();
+        let report = find_redundancies(&c);
+        // Spot-check a few verdicts against exhaustive simulation.
+        use dp_faults::all_stuck_faults;
+        for f in all_stuck_faults(&c).into_iter().step_by(17) {
+            let (det, _) = dp_sim::exhaustive_detectability(&c, &Fault::from(f));
+            let declared_redundant = report.redundant.contains(&f);
+            assert_eq!(det == 0, declared_redundant, "{f}");
+        }
+    }
+}

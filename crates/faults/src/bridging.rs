@@ -1,0 +1,236 @@
+//! Non-feedback bridging fault (NFBF) enumeration and screening.
+
+use std::fmt;
+
+use dp_netlist::{Circuit, Driver, GateKind, NetId};
+
+use crate::reach::Reachability;
+
+/// The wired-logic behaviour of a bridge: zero-dominant logic gives
+/// wired-AND bridges, one-dominant logic wired-OR (paper §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeKind {
+    /// Both wires take the conjunction of their driven values.
+    And,
+    /// Both wires take the disjunction of their driven values.
+    Or,
+}
+
+impl fmt::Display for BridgeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeKind::And => f.write_str("AND"),
+            BridgeKind::Or => f.write_str("OR"),
+        }
+    }
+}
+
+/// A two-wire bridging fault between nets `a` and `b` (unordered;
+/// constructors normalise `a < b`).
+///
+/// # Examples
+///
+/// ```
+/// use dp_faults::{enumerate_nfbfs, BridgeKind};
+/// use dp_netlist::generators::c17;
+///
+/// let c = c17();
+/// for f in enumerate_nfbfs(&c, BridgeKind::Or) {
+///     assert!(f.a < f.b);
+///     assert_eq!(f.kind, BridgeKind::Or);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BridgingFault {
+    /// The lower-numbered bridged net.
+    pub a: NetId,
+    /// The higher-numbered bridged net.
+    pub b: NetId,
+    /// Wired-AND or wired-OR behaviour.
+    pub kind: BridgeKind,
+}
+
+impl BridgingFault {
+    /// Creates a bridging fault, normalising the net order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` (a wire cannot bridge to itself).
+    pub fn new(a: NetId, b: NetId, kind: BridgeKind) -> Self {
+        assert_ne!(a, b, "a bridging fault needs two distinct wires");
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        BridgingFault { a, b, kind }
+    }
+}
+
+impl fmt::Display for BridgingFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bridge {}~{}", self.kind, self.a, self.b)
+    }
+}
+
+/// Enumerates the potentially detectable NFBFs of a circuit for one bridge
+/// kind (the paper keeps the AND and OR sets separate).
+///
+/// A net pair `{a, b}` is included iff:
+///
+/// * **non-feedback** — neither net lies in the other's transitive fanout
+///   cone (a bridge between a net and its fanout would create a loop the
+///   purely functional analysis cannot model, §2.2);
+/// * **not trivially undetectable** — screened structurally, per the paper's
+///   example: an AND bridge between two inputs of the same AND/NAND gate
+///   (or an OR bridge into the same OR/NOR gate) cannot change any gate
+///   output. Bridges between two fanins of an XOR-family gate are kept —
+///   they are detectable in general.
+///
+/// The result is deterministic (ordered by net index pairs).
+pub fn enumerate_nfbfs(circuit: &Circuit, kind: BridgeKind) -> Vec<BridgingFault> {
+    let reach = Reachability::compute(circuit);
+    let n = circuit.num_nets();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let a = NetId::from_index(i);
+        for j in i + 1..n {
+            let b = NetId::from_index(j);
+            if reach.reaches(a, b) || reach.reaches(b, a) {
+                continue;
+            }
+            if trivially_undetectable(circuit, a, b, kind) {
+                continue;
+            }
+            out.push(BridgingFault { a, b, kind });
+        }
+    }
+    out
+}
+
+/// Structural screen for trivially undetectable bridges: the pair exclusively
+/// feeds inputs of gates whose function absorbs the wired value.
+///
+/// The check is the paper's example rule: if *every* consumer of both nets
+/// is the same AND/NAND gate (for an AND bridge; OR/NOR for an OR bridge),
+/// the bridge cannot alter that gate's output — `x·y` at both inputs leaves
+/// `x·y` unchanged — and there is no other path to observe the wires.
+fn trivially_undetectable(circuit: &Circuit, a: NetId, b: NetId, kind: BridgeKind) -> bool {
+    let fa = circuit.fanout(a);
+    let fb = circuit.fanout(b);
+    if fa.len() != 1 || fb.len() != 1 {
+        return false;
+    }
+    let (sink_a, _) = fa[0];
+    let (sink_b, _) = fb[0];
+    if sink_a != sink_b {
+        return false;
+    }
+    // If either net is itself a primary output it stays observable.
+    if circuit.is_output(a) || circuit.is_output(b) {
+        return false;
+    }
+    let gate_kind = match circuit.driver(sink_a) {
+        Driver::Gate { kind, .. } => *kind,
+        Driver::Input => unreachable!("sinks are gates"),
+    };
+    matches!(
+        (kind, gate_kind),
+        (BridgeKind::And, GateKind::And | GateKind::Nand)
+            | (BridgeKind::Or, GateKind::Or | GateKind::Nor)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::{c17, full_adder};
+    use dp_netlist::CircuitBuilder;
+
+    #[test]
+    fn normalisation_orders_nets() {
+        let c = c17();
+        let nets: Vec<NetId> = c.nets().collect();
+        let f = BridgingFault::new(nets[3], nets[1], BridgeKind::And);
+        assert_eq!(f.a, nets[1]);
+        assert_eq!(f.b, nets[3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two distinct wires")]
+    fn self_bridge_rejected() {
+        let c = c17();
+        let n = c.nets().next().unwrap();
+        BridgingFault::new(n, n, BridgeKind::And);
+    }
+
+    #[test]
+    fn no_feedback_pairs() {
+        let c = full_adder();
+        for f in enumerate_nfbfs(&c, BridgeKind::And) {
+            assert!(
+                !c.fanout_cone(f.a).contains(&f.b),
+                "{f} is a feedback bridge"
+            );
+            assert!(!c.fanout_cone(f.b).contains(&f.a));
+        }
+    }
+
+    #[test]
+    fn same_and_gate_inputs_screened() {
+        // x, y feed one AND gate only: the AND bridge is undetectable and
+        // must be screened; the OR bridge must be kept.
+        let mut b = CircuitBuilder::new("and2");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate("g", GateKind::And, &[x, y]).unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let and_set = enumerate_nfbfs(&c, BridgeKind::And);
+        assert!(and_set.iter().all(|f| !(f.a == x && f.b == y)));
+        let or_set = enumerate_nfbfs(&c, BridgeKind::Or);
+        assert!(or_set.iter().any(|f| f.a == x && f.b == y));
+    }
+
+    #[test]
+    fn same_nor_gate_inputs_screened_for_or() {
+        let mut b = CircuitBuilder::new("nor2");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate("g", GateKind::Nor, &[x, y]).unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let or_set = enumerate_nfbfs(&c, BridgeKind::Or);
+        assert!(or_set.iter().all(|f| !(f.a == x && f.b == y)));
+        let and_set = enumerate_nfbfs(&c, BridgeKind::And);
+        assert!(and_set.iter().any(|f| f.a == x && f.b == y));
+    }
+
+    #[test]
+    fn multi_fanout_pairs_survive_screening() {
+        // In c17, net 3 fans out to two NANDs; bridges touching it are kept
+        // even when the partner feeds one of the same gates.
+        let c = c17();
+        let n3 = c.find_net("3").unwrap();
+        let n1 = c.find_net("1").unwrap();
+        let set = enumerate_nfbfs(&c, BridgeKind::And);
+        assert!(set
+            .iter()
+            .any(|f| (f.a == n1 && f.b == n3) || (f.a == n3 && f.b == n1)));
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let c = c17();
+        let s1 = enumerate_nfbfs(&c, BridgeKind::And);
+        let s2 = enumerate_nfbfs(&c, BridgeKind::And);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn counts_are_plausible() {
+        let c = c17();
+        // 11 nets; at most C(11,2) = 55 pairs per kind, reduced by feedback
+        // and screening.
+        let and_set = enumerate_nfbfs(&c, BridgeKind::And);
+        let or_set = enumerate_nfbfs(&c, BridgeKind::Or);
+        assert!(!and_set.is_empty() && and_set.len() < 55);
+        assert!(!or_set.is_empty() && or_set.len() < 55);
+    }
+}

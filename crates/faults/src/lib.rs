@@ -1,0 +1,84 @@
+//! Fault universes for combinational circuits: checkpoint stuck-at faults and
+//! non-feedback bridging faults (NFBFs), exactly as scoped by the paper's §2.
+//!
+//! * [`checkpoint_faults`] — single stuck-at faults on primary inputs and
+//!   fanout branches (Bossen & Hong checkpoints), with
+//!   [`collapse_checkpoint_faults`] applying gate-input fault equivalence to
+//!   keep one representative per class.
+//! * [`enumerate_nfbfs`] — all two-wire AND / OR bridging faults that are
+//!   non-feedback (neither wire in the other's fanout cone) and not
+//!   trivially undetectable (e.g. the AND bridge between two inputs of the
+//!   same AND gate).
+//! * [`sample_nfbfs`] — the paper's layout-weighted random sampling:
+//!   estimated coordinates, Euclidean distance normalised to the largest
+//!   pair distance, selection weighted by the exponential density
+//!   `f(z) = (1/θ)·e^(−z/θ)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_faults::{checkpoint_faults, collapse_checkpoint_faults, enumerate_nfbfs, BridgeKind};
+//! use dp_netlist::generators::c17;
+//!
+//! let c = c17();
+//! let all = checkpoint_faults(&c);
+//! assert_eq!(all.len(), 22); // 5 PIs + 6 branches, two polarities each
+//! let collapsed = collapse_checkpoint_faults(&c, &all);
+//! assert!(collapsed.len() < all.len());
+//! let bridges = enumerate_nfbfs(&c, BridgeKind::And);
+//! assert!(!bridges.is_empty());
+//! ```
+
+mod bridging;
+mod reach;
+mod sample;
+mod stuck;
+
+pub use bridging::{enumerate_nfbfs, BridgeKind, BridgingFault};
+pub use sample::{sample_nfbfs, tune_theta, SampleConfig};
+pub use stuck::{
+    all_stuck_faults, checkpoint_faults, collapse_checkpoint_faults, FaultSite, StuckAtFault,
+};
+
+use dp_netlist::NetId;
+
+/// Any fault the Difference Propagation engine can analyse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// A single stuck-at fault.
+    StuckAt(StuckAtFault),
+    /// A two-wire bridging fault.
+    Bridging(BridgingFault),
+}
+
+impl Fault {
+    /// The nets whose value the fault directly corrupts (one for stuck-at,
+    /// two for bridging).
+    pub fn sites(&self) -> Vec<NetId> {
+        match self {
+            Fault::StuckAt(f) => vec![f.site.net()],
+            Fault::Bridging(f) => vec![f.a, f.b],
+        }
+    }
+}
+
+impl From<StuckAtFault> for Fault {
+    fn from(f: StuckAtFault) -> Self {
+        Fault::StuckAt(f)
+    }
+}
+
+impl From<BridgingFault> for Fault {
+    fn from(f: BridgingFault) -> Self {
+        Fault::Bridging(f)
+    }
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::StuckAt(x) => write!(f, "{x}"),
+            Fault::Bridging(x) => write!(f, "{x}"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Dense transitive-fanout reachability, used for feedback screening.
+
+use dp_netlist::{Circuit, NetId};
+
+/// Bit-matrix of transitive fanout: `reaches(a, b)` is `true` when `b` lies
+/// in the fanout cone of `a` (including `a` itself).
+///
+/// Built once per circuit in a single reverse-topological sweep; the
+/// bridging-fault enumerator queries it O(n²) times.
+#[derive(Debug)]
+pub(crate) struct Reachability {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl Reachability {
+    pub(crate) fn compute(circuit: &Circuit) -> Self {
+        let n = circuit.num_nets();
+        let words = n.div_ceil(64);
+        let mut bits = vec![0u64; n * words];
+        // Process nets in reverse topological order so consumer rows are
+        // complete when a net is visited.
+        for i in (0..n).rev() {
+            let net = NetId::from_index(i);
+            // Self-reachability.
+            bits[i * words + i / 64] |= 1u64 << (i % 64);
+            for &(sink, _) in circuit.fanout(net) {
+                let s = sink.index();
+                // row[i] |= row[s]
+                let (lo, hi) = (i * words, s * words);
+                for w in 0..words {
+                    bits[lo + w] |= bits[hi + w];
+                }
+            }
+        }
+        Reachability { n, words, bits }
+    }
+
+    pub(crate) fn reaches(&self, a: NetId, b: NetId) -> bool {
+        let (i, j) = (a.index(), b.index());
+        debug_assert!(i < self.n && j < self.n);
+        self.bits[i * self.words + j / 64] >> (j % 64) & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::c17;
+
+    #[test]
+    fn reachability_matches_fanout_cone() {
+        let c = c17();
+        let r = Reachability::compute(&c);
+        for a in c.nets() {
+            let cone = c.fanout_cone(a);
+            for b in c.nets() {
+                assert_eq!(r.reaches(a, b), cone.contains(&b), "{a} -> {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! ISCAS-85 `.bench` format reader and writer.
+//!
+//! The format (Brglez & Fujiwara, ISCAS 1985) is line oriented:
+//!
+//! ```text
+//! # comment
+//! INPUT(1)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! 23 = BUFF(16)
+//! ```
+//!
+//! Declaration order of `INPUT` lines is preserved — the paper treats that
+//! order as a meaningful default OBDD variable order.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, CircuitBuilder, Driver, GateKind, NetId};
+use crate::error::NetlistError;
+
+/// Parses an ISCAS-85 `.bench` netlist.
+///
+/// Gate definitions may appear in any order; the parser topologically sorts
+/// them. `OUTPUT` may name a net defined later in the file.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBench`] for malformed lines,
+/// [`NetlistError::UnknownNet`] for references to undefined nets, and the
+/// usual structural errors for duplicate definitions or cyclic netlists.
+///
+/// # Examples
+///
+/// ```
+/// let src = "
+/// ## half adder
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(s)
+/// OUTPUT(c)
+/// s = XOR(a, b)
+/// c = AND(a, b)
+/// ";
+/// let circuit = dp_netlist::parse_bench(src, "ha")?;
+/// assert_eq!(circuit.num_inputs(), 2);
+/// assert_eq!(circuit.num_gates(), 2);
+/// # Ok::<(), dp_netlist::NetlistError>(())
+/// ```
+pub fn parse_bench(src: &str, name: &str) -> Result<Circuit, NetlistError> {
+    struct RawGate {
+        output: String,
+        kind: GateKind,
+        fanins: Vec<String>,
+        line: usize,
+    }
+
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<RawGate> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split('#').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let err = |message: String| NetlistError::ParseBench { line, message };
+        if let Some(rest) = strip_directive(text, "INPUT") {
+            inputs.push(rest.map_err(err)?);
+        } else if let Some(rest) = strip_directive(text, "OUTPUT") {
+            outputs.push(rest.map_err(err)?);
+        } else if let Some((lhs, rhs)) = text.split_once('=') {
+            let output = lhs.trim().to_string();
+            let rhs = rhs.trim();
+            let open = rhs
+                .find('(')
+                .ok_or_else(|| err("expected `name = GATE(args)`".into()))?;
+            if !rhs.ends_with(')') {
+                return Err(err("missing closing parenthesis".into()));
+            }
+            let kind_str = rhs[..open].trim().to_ascii_uppercase();
+            let kind = match kind_str.as_str() {
+                "AND" => GateKind::And,
+                "NAND" => GateKind::Nand,
+                "OR" => GateKind::Or,
+                "NOR" => GateKind::Nor,
+                "XOR" => GateKind::Xor,
+                "XNOR" => GateKind::Xnor,
+                "NOT" | "INV" => GateKind::Not,
+                "BUF" | "BUFF" => GateKind::Buf,
+                other => return Err(err(format!("unknown gate type `{other}`"))),
+            };
+            let args = &rhs[open + 1..rhs.len() - 1];
+            let fanins: Vec<String> = args
+                .split(',')
+                .map(|a| a.trim().to_string())
+                .filter(|a| !a.is_empty())
+                .collect();
+            if fanins.is_empty() {
+                return Err(err("gate with no fanins".into()));
+            }
+            gates.push(RawGate {
+                output,
+                kind,
+                fanins,
+                line,
+            });
+        } else {
+            return Err(err(format!("unrecognised line `{text}`")));
+        }
+    }
+
+    // Topologically order the gate definitions (file order is not guaranteed
+    // to be topological in the wild).
+    let mut builder = CircuitBuilder::new(name);
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    for pi in &inputs {
+        let id = builder.try_input(pi.clone())?;
+        ids.insert(pi.clone(), id);
+    }
+    let mut remaining: Vec<RawGate> = gates;
+    while !remaining.is_empty() {
+        let mut progressed = false;
+        let mut next_round = Vec::new();
+        for g in remaining {
+            if g.fanins.iter().all(|f| ids.contains_key(f)) {
+                let fanin_ids: Vec<NetId> = g.fanins.iter().map(|f| ids[f]).collect();
+                let id = builder.gate(g.output.clone(), g.kind, &fanin_ids)?;
+                ids.insert(g.output, id);
+                progressed = true;
+            } else {
+                next_round.push(g);
+            }
+        }
+        if !progressed {
+            // Either a cycle or a reference to an undefined net.
+            let g = &next_round[0];
+            let missing = g
+                .fanins
+                .iter()
+                .find(|f| !ids.contains_key(*f))
+                .expect("some fanin is unresolved");
+            return Err(NetlistError::ParseBench {
+                line: g.line,
+                message: format!(
+                    "net `{missing}` is undefined or participates in a cycle"
+                ),
+            });
+        }
+        remaining = next_round;
+    }
+    for po in &outputs {
+        let id = *ids
+            .get(po)
+            .ok_or_else(|| NetlistError::UnknownNet(po.clone()))?;
+        builder.output(id);
+    }
+    builder.finish()
+}
+
+fn strip_directive(text: &str, keyword: &str) -> Option<Result<String, String>> {
+    let rest = text.strip_prefix(keyword)?.trim_start();
+    // Only a parenthesised form is a directive; anything else (e.g. a net
+    // named `INPUTX` on the left of `=`) falls through to gate parsing.
+    let body = rest.strip_prefix('(')?;
+    let inner = body.strip_suffix(')').map(|r| r.trim().to_string());
+    Some(match inner {
+        Some(name) if !name.is_empty() => Ok(name),
+        _ => Err(format!("malformed {keyword} directive")),
+    })
+}
+
+/// Serialises a circuit in `.bench` syntax.
+///
+/// The output parses back (see [`parse_bench`]) to a circuit with identical
+/// structure, names, and input/output order.
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::{generators::c17, parse_bench, write_bench};
+/// let c = c17();
+/// let text = write_bench(&c);
+/// let back = parse_bench(&text, c.name())?;
+/// assert_eq!(back.num_gates(), c.num_gates());
+/// # Ok::<(), dp_netlist::NetlistError>(())
+/// ```
+pub fn write_bench(circuit: &Circuit) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {}", circuit.name());
+    for &pi in circuit.inputs() {
+        let _ = writeln!(out, "INPUT({})", circuit.net_name(pi));
+    }
+    for &po in circuit.outputs() {
+        let _ = writeln!(out, "OUTPUT({})", circuit.net_name(po));
+    }
+    for n in circuit.gates() {
+        if let Driver::Gate { kind, fanins } = circuit.driver(n) {
+            let args: Vec<&str> = fanins.iter().map(|f| circuit.net_name(*f)).collect();
+            let _ = writeln!(
+                out,
+                "{} = {}({})",
+                circuit.net_name(n),
+                kind.bench_name(),
+                args.join(", ")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const C17: &str = "
+# c17 (ISCAS-85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let c = parse_bench(C17, "c17").unwrap();
+        assert_eq!(c.num_inputs(), 5);
+        assert_eq!(c.num_outputs(), 2);
+        assert_eq!(c.num_gates(), 6);
+        // Spot-check function: all-ones input.
+        assert_eq!(c.eval(&[true; 5]), vec![true, false]);
+    }
+
+    #[test]
+    fn out_of_order_definitions_are_sorted() {
+        let src = "
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)
+x = BUFF(a)
+";
+        let c = parse_bench(src, "ooo").unwrap();
+        assert_eq!(c.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "
+# leading comment
+
+INPUT(a)  # trailing comment
+OUTPUT(b)
+b = NOT(a)
+";
+        assert!(parse_bench(src, "c").is_ok());
+    }
+
+    #[test]
+    fn unknown_gate_type_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        let e = parse_bench(src, "bad").unwrap_err();
+        assert!(matches!(e, NetlistError::ParseBench { .. }));
+        assert!(e.to_string().contains("FROB"));
+    }
+
+    #[test]
+    fn undefined_net_rejected() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n";
+        let e = parse_bench(src, "bad").unwrap_err();
+        assert!(e.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let src = "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n";
+        let e = parse_bench(src, "cyc").unwrap_err();
+        assert!(e.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn undefined_output_rejected() {
+        let src = "INPUT(a)\nOUTPUT(nope)\nb = NOT(a)\n";
+        assert!(matches!(
+            parse_bench(src, "bad"),
+            Err(NetlistError::UnknownNet(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_directive_rejected() {
+        assert!(parse_bench("INPUT()\n", "bad").is_err());
+        assert!(parse_bench("INPUT a\n", "bad").is_err());
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure_and_function() {
+        let c = parse_bench(C17, "c17").unwrap();
+        let text = write_bench(&c);
+        let back = parse_bench(&text, "c17").unwrap();
+        assert_eq!(back.num_inputs(), c.num_inputs());
+        assert_eq!(back.num_outputs(), c.num_outputs());
+        assert_eq!(back.num_gates(), c.num_gates());
+        for bits in 0u32..32 {
+            let v: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(back.eval(&v), c.eval(&v));
+        }
+    }
+}

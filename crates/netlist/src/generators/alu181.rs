@@ -1,0 +1,281 @@
+//! Gate-level SN74181 4-bit ALU in positive logic.
+//!
+//! Implements the classic '181 structure: per-bit select-controlled
+//! propagate/generate terms, a carry-lookahead chain gated by the mode input
+//! `M`, and XOR summation — about 75 gates, matching the TI logic diagram's
+//! function table in positive logic:
+//!
+//! * per bit `i`: `p_i = A_i ∨ B_i·S0 ∨ ¬B_i·S1`,
+//!   `g_i = A_i·¬B_i·S2 ∨ A_i·B_i·S3`,
+//! * logic mode (`M = 1`): `F_i = ¬(p_i ⊕ g_i)`,
+//! * arithmetic mode (`M = 0`): `F_i = (p_i ⊕ g_i) ⊕ cy_i` with the
+//!   lookahead carries `cy` generated from `p`/`g` and `¬Cn`
+//!   (`Cn` high = no carry in, as on the device).
+
+use crate::circuit::{Circuit, CircuitBuilder, GateKind, NetId};
+
+/// Builds the 74181 ALU: inputs `S3,S2,S1,S0,M,Cn,A0,B0,...,A3,B3` (14);
+/// outputs `F0..F3`, `Cn4`, `P`, `G`, `AEB` (8).
+///
+/// `P` and `G` are the active-low carry-propagate / carry-generate outputs,
+/// `Cn4` is the active-low ripple carry out, and `AEB` is the open-collector
+/// `A = B` indicator (all four `F` bits high).
+///
+/// # Examples
+///
+/// ```
+/// let alu = dp_netlist::generators::alu74181();
+/// assert_eq!(alu.num_inputs(), 14);
+/// assert_eq!(alu.num_outputs(), 8);
+/// ```
+pub fn alu74181() -> Circuit {
+    let mut b = CircuitBuilder::new("alu74181");
+    let s3 = b.input("S3");
+    let s2 = b.input("S2");
+    let s1 = b.input("S1");
+    let s0 = b.input("S0");
+    let m = b.input("M");
+    let cn = b.input("Cn");
+    let mut a = Vec::new();
+    let mut bb = Vec::new();
+    for i in 0..4 {
+        a.push(b.input(format!("A{i}")));
+        bb.push(b.input(format!("B{i}")));
+    }
+
+    let ncn = b.not("nCn", cn).expect("valid");
+
+    let mut p = Vec::new();
+    let mut g = Vec::new();
+    let mut h = Vec::new();
+    for i in 0..4 {
+        let nb = b.not(format!("nB{i}"), bb[i]).expect("valid");
+        let pt1 = b
+            .gate(format!("pt1_{i}"), GateKind::And, &[bb[i], s0])
+            .expect("valid");
+        let pt2 = b
+            .gate(format!("pt2_{i}"), GateKind::And, &[nb, s1])
+            .expect("valid");
+        let pi = b
+            .gate(format!("p{i}"), GateKind::Or, &[a[i], pt1, pt2])
+            .expect("valid");
+        let gt1 = b
+            .gate(format!("gt1_{i}"), GateKind::And, &[a[i], nb, s2])
+            .expect("valid");
+        let gt2 = b
+            .gate(format!("gt2_{i}"), GateKind::And, &[a[i], bb[i], s3])
+            .expect("valid");
+        let gi = b
+            .gate(format!("g{i}"), GateKind::Or, &[gt1, gt2])
+            .expect("valid");
+        let hi = b
+            .gate(format!("h{i}"), GateKind::Xor, &[pi, gi])
+            .expect("valid");
+        p.push(pi);
+        g.push(gi);
+        h.push(hi);
+    }
+
+    // Lookahead: cy[0] = ¬Cn; cy[i+1] = g_i ∨ p_i·g_{i-1} ∨ ... ∨ p_i..p_0·¬Cn.
+    let mut cy: Vec<NetId> = vec![ncn];
+    for i in 0..4 {
+        let mut terms = vec![g[i]];
+        for j in (0..i).rev() {
+            let fanins: Vec<NetId> = (j + 1..=i).map(|k| p[k]).chain([g[j]]).collect();
+            terms.push(
+                b.gate(format!("cyt{i}_{j}"), GateKind::And, &fanins)
+                    .expect("valid"),
+            );
+        }
+        let all: Vec<NetId> = (0..=i).map(|k| p[k]).chain([ncn]).collect();
+        terms.push(
+            b.gate(format!("cyt{i}_cn"), GateKind::And, &all)
+                .expect("valid"),
+        );
+        cy.push(
+            b.gate(format!("cy{}", i + 1), GateKind::Or, &terms)
+                .expect("valid"),
+        );
+    }
+
+    // z_i = M ∨ cy_i; F_i = h_i ⊕ z_i.
+    let mut f = Vec::new();
+    for i in 0..4 {
+        let zi = b
+            .gate(format!("z{i}"), GateKind::Or, &[m, cy[i]])
+            .expect("valid");
+        f.push(
+            b.gate(format!("F{i}"), GateKind::Xor, &[h[i], zi])
+                .expect("valid"),
+        );
+    }
+
+    // Group outputs.
+    let cn4 = b.not("Cn4", cy[4]).expect("valid");
+    let pprod = b
+        .gate("Pprod", GateKind::And, &[p[3], p[2], p[1], p[0]])
+        .expect("valid");
+    let pout = b.not("P", pprod).expect("valid");
+    let gt32 = b.gate("Gt32", GateKind::And, &[p[3], g[2]]).expect("valid");
+    let gt321 = b
+        .gate("Gt321", GateKind::And, &[p[3], p[2], g[1]])
+        .expect("valid");
+    let gt3210 = b
+        .gate("Gt3210", GateKind::And, &[p[3], p[2], p[1], g[0]])
+        .expect("valid");
+    let gout = b
+        .gate("G", GateKind::Nor, &[g[3], gt32, gt321, gt3210])
+        .expect("valid");
+    let aeb = b
+        .gate("AEB", GateKind::And, &[f[0], f[1], f[2], f[3]])
+        .expect("valid");
+
+    for &fi in &f {
+        b.output(fi);
+    }
+    b.output(cn4);
+    b.output(pout);
+    b.output(gout);
+    b.output(aeb);
+    b.finish().expect("74181 is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Behavioural reference: evaluates the '181 from the p/g definitions
+    /// with an independent ripple-carry loop (no netlist involved).
+    // Mirrors the datasheet equations and per-bit carry indexing verbatim.
+    #[allow(clippy::nonminimal_bool, clippy::needless_range_loop)]
+    fn reference(s: u32, m: bool, cn: bool, a: u32, b: u32) -> (u32, bool) {
+        let sel = |k: u32| s >> k & 1 == 1;
+        let mut f = 0u32;
+        let mut carry = !cn; // Cn high = no carry in
+        let mut carries = [false; 5];
+        carries[0] = carry;
+        for i in 0..4 {
+            let ai = a >> i & 1 == 1;
+            let bi = b >> i & 1 == 1;
+            let p = ai || (bi && sel(0)) || (!bi && sel(1));
+            let g = (ai && !bi && sel(2)) || (ai && bi && sel(3));
+            carry = g || (p && carry);
+            carries[i + 1] = carry;
+        }
+        for i in 0..4 {
+            let ai = a >> i & 1 == 1;
+            let bi = b >> i & 1 == 1;
+            let p = ai || (bi && sel(0)) || (!bi && sel(1));
+            let g = (ai && !bi && sel(2)) || (ai && bi && sel(3));
+            let z = m || carries[i];
+            if (p ^ g) ^ z {
+                f |= 1 << i;
+            }
+        }
+        (f, !carries[4])
+    }
+
+    fn drive(alu: &Circuit, s: u32, m: bool, cn: bool, a: u32, b: u32) -> Vec<bool> {
+        let mut v = vec![
+            s >> 3 & 1 == 1,
+            s >> 2 & 1 == 1,
+            s >> 1 & 1 == 1,
+            s & 1 == 1,
+            m,
+            cn,
+        ];
+        for i in 0..4 {
+            v.push(a >> i & 1 == 1);
+            v.push(b >> i & 1 == 1);
+        }
+        alu.eval(&v)
+    }
+
+    #[test]
+    fn shape() {
+        let alu = alu74181();
+        assert_eq!(alu.num_inputs(), 14);
+        assert_eq!(alu.num_outputs(), 8);
+        assert!(alu.num_gates() >= 60, "got {}", alu.num_gates());
+    }
+
+    #[test]
+    fn exhaustive_against_reference() {
+        let alu = alu74181();
+        for s in 0u32..16 {
+            for m in [false, true] {
+                for cn in [false, true] {
+                    for a in 0u32..16 {
+                        for b in 0u32..16 {
+                            let out = drive(&alu, s, m, cn, a, b);
+                            let (f, cn4) = reference(s, m, cn, a, b);
+                            for (i, &bit) in out.iter().take(4).enumerate() {
+                                assert_eq!(
+                                    bit,
+                                    f >> i & 1 == 1,
+                                    "F{i} at S={s:04b} M={m} Cn={cn} A={a} B={b}"
+                                );
+                            }
+                            assert_eq!(out[4], cn4, "Cn4 at S={s:04b} M={m} Cn={cn} A={a} B={b}");
+                            assert_eq!(out[7], f == 0xF, "AEB");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_logic_functions() {
+        let alu = alu74181();
+        // M = 1: logic mode. Datasheet positive-logic table.
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                // S = 0000: F = NOT A
+                assert_eq!(nibble(&drive(&alu, 0b0000, true, true, a, b)), !a & 0xF);
+                // S = 0110: F = A XOR B
+                assert_eq!(nibble(&drive(&alu, 0b0110, true, true, a, b)), a ^ b);
+                // S = 1011: F = A AND B
+                assert_eq!(nibble(&drive(&alu, 0b1011, true, true, a, b)), a & b);
+                // S = 1110: F = A OR B
+                assert_eq!(nibble(&drive(&alu, 0b1110, true, true, a, b)), a | b);
+                // S = 0011: F = 0; S = 1100: F = 1111
+                assert_eq!(nibble(&drive(&alu, 0b0011, true, true, a, b)), 0);
+                assert_eq!(nibble(&drive(&alu, 0b1100, true, true, a, b)), 0xF);
+            }
+        }
+    }
+
+    #[test]
+    fn known_arithmetic_functions() {
+        let alu = alu74181();
+        for a in 0u32..16 {
+            for b in 0u32..16 {
+                // S = 1001, M = 0, Cn = 1: F = A plus B.
+                assert_eq!(
+                    nibble(&drive(&alu, 0b1001, false, true, a, b)),
+                    (a + b) & 0xF
+                );
+                // S = 1001, M = 0, Cn = 0: F = A plus B plus 1.
+                assert_eq!(
+                    nibble(&drive(&alu, 0b1001, false, false, a, b)),
+                    (a + b + 1) & 0xF
+                );
+                // S = 0110, M = 0, Cn = 1: F = A minus B minus 1.
+                assert_eq!(
+                    nibble(&drive(&alu, 0b0110, false, true, a, b)),
+                    a.wrapping_sub(b).wrapping_sub(1) & 0xF
+                );
+                // S = 0000, M = 0, Cn = 1: F = A.
+                assert_eq!(nibble(&drive(&alu, 0b0000, false, true, a, b)), a);
+                // Carry out on A plus B: Cn4 low iff a+b >= 16 (active low).
+                let out = drive(&alu, 0b1001, false, true, a, b);
+                assert_eq!(out[4], a + b < 16, "Cn4 for {a}+{b}");
+            }
+        }
+    }
+
+    fn nibble(out: &[bool]) -> u32 {
+        (0..4).map(|i| (out[i] as u32) << i).sum()
+    }
+}

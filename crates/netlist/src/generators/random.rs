@@ -1,0 +1,150 @@
+//! Seeded random circuit generation, for property-based testing.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::circuit::{Circuit, CircuitBuilder, GateKind, NetId};
+
+/// Parameters for [`random_circuit`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomCircuitConfig {
+    /// Number of primary inputs (at least 1).
+    pub inputs: usize,
+    /// Number of gates (at least 1).
+    pub gates: usize,
+    /// Maximum gate fanin (at least 2; unary gates are also generated).
+    pub max_fanin: usize,
+}
+
+impl Default for RandomCircuitConfig {
+    fn default() -> Self {
+        RandomCircuitConfig {
+            inputs: 6,
+            gates: 30,
+            max_fanin: 3,
+        }
+    }
+}
+
+/// Generates a pseudo-random combinational circuit — acyclic by
+/// construction, with every net that has no consumer promoted to a primary
+/// output (so nothing dangles).
+///
+/// The same `(seed, config)` always yields the same circuit. Useful for
+/// property-based cross-validation of the analysis engines.
+///
+/// # Panics
+///
+/// Panics if `config.inputs` or `config.gates` is zero or
+/// `config.max_fanin < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::generators::{random_circuit, RandomCircuitConfig};
+///
+/// let c1 = random_circuit(7, RandomCircuitConfig::default());
+/// let c2 = random_circuit(7, RandomCircuitConfig::default());
+/// assert_eq!(c1.num_gates(), c2.num_gates());
+/// assert!(c1.num_outputs() >= 1);
+/// ```
+pub fn random_circuit(seed: u64, config: RandomCircuitConfig) -> Circuit {
+    assert!(config.inputs >= 1, "need at least one input");
+    assert!(config.gates >= 1, "need at least one gate");
+    assert!(config.max_fanin >= 2, "max fanin must be at least 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = CircuitBuilder::new(format!("rand{seed}"));
+    let mut nets: Vec<NetId> = (0..config.inputs)
+        .map(|i| b.input(format!("i{i}")))
+        .collect();
+    let mut used = vec![false; config.inputs + config.gates];
+    for g in 0..config.gates {
+        let kind = GateKind::ALL[rng.random_range(0..GateKind::ALL.len())];
+        let fanin_count = if kind.is_unary() {
+            1
+        } else {
+            rng.random_range(2..=config.max_fanin)
+        };
+        // Bias towards recent nets so the circuit gains depth.
+        let mut fanins = Vec::with_capacity(fanin_count);
+        for _ in 0..fanin_count {
+            let idx = if rng.random_bool(0.5) && nets.len() > config.inputs {
+                rng.random_range(nets.len().saturating_sub(8)..nets.len())
+            } else {
+                rng.random_range(0..nets.len())
+            };
+            fanins.push(nets[idx]);
+            used[idx] = true;
+        }
+        let id = b
+            .gate(format!("g{g}"), kind, &fanins)
+            .expect("generated gates are well-formed");
+        nets.push(id);
+    }
+    // Promote every sink-less net to a primary output; the final gate is
+    // always one, so the circuit is never output-free.
+    for (idx, &net) in nets.iter().enumerate() {
+        if !used[idx] {
+            b.output(net);
+        }
+    }
+    b.finish().expect("generated circuits are well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_circuit(1, RandomCircuitConfig::default());
+        let b = random_circuit(1, RandomCircuitConfig::default());
+        assert_eq!(a.num_nets(), b.num_nets());
+        for bits in 0u32..64 {
+            let v: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(a.eval(&v), b.eval(&v));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_structurally() {
+        let a = random_circuit(1, RandomCircuitConfig::default());
+        let b = random_circuit(2, RandomCircuitConfig::default());
+        // Either a different shape or (rarely) the same; check outputs count
+        // differs across a small seed set to avoid flakiness.
+        let shapes: std::collections::HashSet<usize> = (0..10)
+            .map(|s| random_circuit(s, RandomCircuitConfig::default()).num_outputs())
+            .collect();
+        assert!(shapes.len() > 1 || a.num_outputs() != b.num_outputs());
+    }
+
+    #[test]
+    fn no_dangling_nets() {
+        for seed in 0..20 {
+            let c = random_circuit(seed, RandomCircuitConfig::default());
+            for n in c.nets() {
+                assert!(
+                    !c.fanout(n).is_empty() || c.is_output(n),
+                    "net {n} dangles in seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn respects_config() {
+        let cfg = RandomCircuitConfig {
+            inputs: 3,
+            gates: 10,
+            max_fanin: 4,
+        };
+        let c = random_circuit(5, cfg);
+        assert_eq!(c.num_inputs(), 3);
+        assert_eq!(c.num_gates(), 10);
+        for g in c.gates() {
+            if let crate::circuit::Driver::Gate { fanins, .. } = c.driver(g) {
+                assert!(fanins.len() <= 4);
+            }
+        }
+    }
+}

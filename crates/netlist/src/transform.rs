@@ -1,0 +1,270 @@
+//! Structure-preserving netlist transformations.
+//!
+//! Two transformations matter to the reproduction:
+//!
+//! * [`decompose_two_input`] — models an n-input gate as a chain of `n − 1`
+//!   two-input gates. The paper uses exactly this device (§3) to keep the
+//!   number of Table-1 difference operations linear in fanin count.
+//! * [`expand_xor_to_nand`] — replaces every XOR with its four-NAND
+//!   equivalent (and XNOR with four NANDs plus an inverter). This is the
+//!   relationship between C499 and C1355, which the paper leans on to show
+//!   detectability decreasing with added circuitry.
+
+use crate::circuit::{Circuit, CircuitBuilder, Driver, GateKind, NetId};
+use crate::error::NetlistError;
+
+/// Rebuilds `circuit` with every gate of more than two inputs decomposed into
+/// a chain of two-input gates of the same logic family.
+///
+/// `AND`/`OR`/`XOR` decompose associatively; `NAND`/`NOR`/`XNOR` decompose
+/// into a chain of the non-inverting kind finished by one inverting gate, so
+/// the overall function is unchanged. Primary input and pre-existing net
+/// names, and PI/PO order, are preserved; introduced nets are suffixed
+/// `__d<k>` (decomposition) or `__x<k>` (expansion).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from reconstruction (cannot occur for a valid
+/// input circuit unless the fresh names collide with existing ones).
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::{decompose_two_input, CircuitBuilder, GateKind};
+/// # fn main() -> Result<(), dp_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("wide");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let d = b.input("c");
+/// let g = b.gate("g", GateKind::Nand, &[a, c, d])?;
+/// b.output(g);
+/// let wide = b.finish()?;
+/// let narrow = decompose_two_input(&wide)?;
+/// assert_eq!(narrow.num_gates(), 2); // AND + NAND
+/// assert_eq!(narrow.eval(&[true, true, true]), wide.eval(&[true, true, true]));
+/// # Ok(())
+/// # }
+/// ```
+pub fn decompose_two_input(circuit: &Circuit) -> Result<Circuit, NetlistError> {
+    rebuild(circuit, "__d", |b, name, kind, fanins, fresh| {
+        if fanins.len() <= 2 {
+            return b.gate(name, kind, fanins);
+        }
+        let chain_kind = match kind {
+            GateKind::And | GateKind::Nand => GateKind::And,
+            GateKind::Or | GateKind::Nor => GateKind::Or,
+            GateKind::Xor | GateKind::Xnor => GateKind::Xor,
+            GateKind::Not | GateKind::Buf => unreachable!("unary gates have one fanin"),
+        };
+        let mut acc = fanins[0];
+        for (k, &next) in fanins[1..fanins.len() - 1].iter().enumerate() {
+            acc = b.gate(fresh(name, k), chain_kind, &[acc, next])?;
+        }
+        let final_kind = match kind {
+            GateKind::And | GateKind::Or | GateKind::Xor => chain_kind,
+            GateKind::Nand => GateKind::Nand,
+            GateKind::Nor => GateKind::Nor,
+            GateKind::Xnor => GateKind::Xnor,
+            GateKind::Not | GateKind::Buf => unreachable!(),
+        };
+        b.gate(name, final_kind, &[acc, fanins[fanins.len() - 1]])
+    })
+}
+
+/// Rebuilds `circuit` with every `XOR` replaced by its four-NAND realisation
+/// and every `XNOR` by four NANDs plus a NOT.
+///
+/// Multi-input XOR/XNOR gates are first decomposed into two-input chains.
+/// This is the C499 → C1355 construction. Introduced nets are suffixed
+/// `__d<k>` (decomposition) or `__x<k>` (expansion).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from reconstruction (name collisions only).
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::{expand_xor_to_nand, CircuitBuilder, GateKind};
+/// # fn main() -> Result<(), dp_netlist::NetlistError> {
+/// let mut b = CircuitBuilder::new("x");
+/// let a = b.input("a");
+/// let c = b.input("b");
+/// let g = b.gate("g", GateKind::Xor, &[a, c])?;
+/// b.output(g);
+/// let xor = b.finish()?;
+/// let nands = expand_xor_to_nand(&xor)?;
+/// assert_eq!(nands.num_gates(), 4);
+/// for v in [[false, false], [false, true], [true, false], [true, true]] {
+///     assert_eq!(nands.eval(&v), xor.eval(&v));
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub fn expand_xor_to_nand(circuit: &Circuit) -> Result<Circuit, NetlistError> {
+    let two_input = decompose_two_input(circuit)?;
+    rebuild(&two_input, "__x", |b, name, kind, fanins, fresh| match kind {
+        GateKind::Xor | GateKind::Xnor => {
+            let (a, c) = (fanins[0], fanins[1]);
+            let t1 = b.gate(fresh(name, 0), GateKind::Nand, &[a, c])?;
+            let t2 = b.gate(fresh(name, 1), GateKind::Nand, &[a, t1])?;
+            let t3 = b.gate(fresh(name, 2), GateKind::Nand, &[c, t1])?;
+            if kind == GateKind::Xor {
+                b.gate(name, GateKind::Nand, &[t2, t3])
+            } else {
+                let x = b.gate(fresh(name, 3), GateKind::Nand, &[t2, t3])?;
+                b.gate(name, GateKind::Not, &[x])
+            }
+        }
+        _ => b.gate(name, kind, fanins),
+    })
+}
+
+/// Shared rebuild driver: walks `circuit` topologically and lets `emit`
+/// reconstruct each gate (possibly as several gates). The final net of each
+/// emission must carry the original gate's name so outputs resolve.
+fn rebuild(
+    circuit: &Circuit,
+    suffix: &str,
+    mut emit: impl FnMut(
+        &mut CircuitBuilder,
+        &str,
+        GateKind,
+        &[NetId],
+        &dyn Fn(&str, usize) -> String,
+    ) -> Result<NetId, NetlistError>,
+) -> Result<Circuit, NetlistError> {
+    let mut b = CircuitBuilder::new(circuit.name());
+    let mut map: Vec<Option<NetId>> = vec![None; circuit.num_nets()];
+    for &pi in circuit.inputs() {
+        map[pi.index()] = Some(b.try_input(circuit.net_name(pi))?);
+    }
+    let fresh = |name: &str, k: usize| format!("{name}{suffix}{k}");
+    for n in circuit.gates() {
+        if let Driver::Gate { kind, fanins } = circuit.driver(n) {
+            let mapped: Vec<NetId> = fanins
+                .iter()
+                .map(|f| map[f.index()].expect("topological order"))
+                .collect();
+            let new = emit(&mut b, circuit.net_name(n), *kind, &mapped, &fresh)?;
+            map[n.index()] = Some(new);
+        }
+    }
+    for &po in circuit.outputs() {
+        b.output(map[po.index()].expect("outputs are driven"));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::CircuitBuilder;
+
+    /// Builds one n-input gate of the given kind and checks the transform
+    /// preserves the function exhaustively.
+    fn check_equivalent(original: &Circuit, transformed: &Circuit) {
+        assert_eq!(original.num_inputs(), transformed.num_inputs());
+        assert_eq!(original.num_outputs(), transformed.num_outputs());
+        let n = original.num_inputs();
+        assert!(n <= 16, "test helper is exhaustive");
+        for bits in 0u32..(1 << n) {
+            let v: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(original.eval(&v), transformed.eval(&v), "at {v:?}");
+        }
+    }
+
+    fn wide_gate(kind: GateKind, arity: usize) -> Circuit {
+        let mut b = CircuitBuilder::new("wide");
+        let inputs: Vec<NetId> = (0..arity).map(|i| b.input(format!("i{i}"))).collect();
+        let g = b.gate("g", kind, &inputs).unwrap();
+        b.output(g);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn decompose_all_kinds_all_arities() {
+        for kind in [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ] {
+            for arity in 2..=6 {
+                let wide = wide_gate(kind, arity);
+                let narrow = decompose_two_input(&wide).unwrap();
+                check_equivalent(&wide, &narrow);
+                assert_eq!(narrow.num_gates(), arity - 1, "{kind} arity {arity}");
+                // Every gate in the result is at most 2-input.
+                for g in narrow.gates() {
+                    if let Driver::Gate { fanins, .. } = narrow.driver(g) {
+                        assert!(fanins.len() <= 2);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_is_identity_on_two_input_circuits() {
+        let wide = wide_gate(GateKind::And, 2);
+        let narrow = decompose_two_input(&wide).unwrap();
+        assert_eq!(narrow.num_gates(), 1);
+    }
+
+    #[test]
+    fn xor_expansion_is_four_nands() {
+        let c = wide_gate(GateKind::Xor, 2);
+        let e = expand_xor_to_nand(&c).unwrap();
+        assert_eq!(e.num_gates(), 4);
+        check_equivalent(&c, &e);
+        for g in e.gates() {
+            if let Driver::Gate { kind, .. } = e.driver(g) {
+                assert_eq!(*kind, GateKind::Nand);
+            }
+        }
+    }
+
+    #[test]
+    fn xnor_expansion_adds_inverter() {
+        let c = wide_gate(GateKind::Xnor, 2);
+        let e = expand_xor_to_nand(&c).unwrap();
+        assert_eq!(e.num_gates(), 5);
+        check_equivalent(&c, &e);
+    }
+
+    #[test]
+    fn wide_xor_expands_via_chain() {
+        let c = wide_gate(GateKind::Xor, 4);
+        let e = expand_xor_to_nand(&c).unwrap();
+        // 3 chain XORs × 4 NANDs.
+        assert_eq!(e.num_gates(), 12);
+        check_equivalent(&c, &e);
+    }
+
+    #[test]
+    fn expansion_leaves_other_gates_alone() {
+        let mut b = CircuitBuilder::new("mix");
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.gate("x", GateKind::Xor, &[a, c]).unwrap();
+        let y = b.gate("y", GateKind::And, &[a, x]).unwrap();
+        b.output(y);
+        let mix = b.finish().unwrap();
+        let e = expand_xor_to_nand(&mix).unwrap();
+        check_equivalent(&mix, &e);
+        assert_eq!(e.num_gates(), 5); // 4 NANDs + AND
+    }
+
+    #[test]
+    fn transforms_preserve_pi_po_names_and_order() {
+        let c = wide_gate(GateKind::Nand, 5);
+        let t = decompose_two_input(&c).unwrap();
+        for (a, b) in c.inputs().iter().zip(t.inputs()) {
+            assert_eq!(c.net_name(*a), t.net_name(*b));
+        }
+        assert_eq!(t.net_name(t.outputs()[0]), "g");
+    }
+}

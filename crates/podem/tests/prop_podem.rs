@@ -1,0 +1,47 @@
+//! Property test: PODEM and Difference Propagation must agree on
+//! testability for every checkpoint fault of random circuits, and every
+//! PODEM vector must detect its fault under independent simulation.
+
+use dp_core::DiffProp;
+use dp_faults::{checkpoint_faults, Fault};
+use dp_netlist::generators::{random_circuit, RandomCircuitConfig};
+use dp_podem::{generate_test, PodemResult};
+use dp_sim::detects;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn podem_agrees_with_exact_analysis(
+        seed in any::<u64>(),
+        inputs in 2usize..=6,
+        gates in 4usize..=30,
+        max_fanin in 2usize..=4,
+    ) {
+        let circuit = random_circuit(seed, RandomCircuitConfig { inputs, gates, max_fanin });
+        let mut dp = DiffProp::new(&circuit);
+        for f in checkpoint_faults(&circuit) {
+            let exact = dp.analyze(&Fault::from(f));
+            match generate_test(&circuit, &f, 1_000_000) {
+                PodemResult::Test(v) => {
+                    prop_assert!(exact.is_detectable(), "{} phantom test", f);
+                    prop_assert!(detects(&circuit, &Fault::from(f), &v), "{} bad vector", f);
+                }
+                PodemResult::Untestable => {
+                    prop_assert!(
+                        !exact.is_detectable(),
+                        "{} declared untestable, detectability {}",
+                        f,
+                        exact.detectability
+                    );
+                }
+                PodemResult::Aborted => {
+                    // With a million backtracks on ≤ 6 inputs this cannot
+                    // happen; treat as failure.
+                    prop_assert!(false, "{} aborted", f);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Fault injection and exhaustive / random fault simulation.
+
+use dp_faults::{Fault, FaultSite, StuckAtFault};
+use dp_netlist::{Circuit, Driver, GateKind};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::packed::{exhaustive_pattern, PackedSim};
+
+/// Evaluates a gate over packed words (duplicated from `packed` to keep the
+/// faulty sweep self-contained and branch-free in the hot loop).
+fn eval_packed(kind: GateKind, inputs: &[u64]) -> u64 {
+    match kind {
+        GateKind::Not => !inputs[0],
+        GateKind::Buf => inputs[0],
+        GateKind::And => inputs.iter().fold(!0u64, |acc, &x| acc & x),
+        GateKind::Nand => !inputs.iter().fold(!0u64, |acc, &x| acc & x),
+        GateKind::Or => inputs.iter().fold(0u64, |acc, &x| acc | x),
+        GateKind::Nor => !inputs.iter().fold(0u64, |acc, &x| acc | x),
+        GateKind::Xor => inputs.iter().fold(0u64, |acc, &x| acc ^ x),
+        GateKind::Xnor => !inputs.iter().fold(0u64, |acc, &x| acc ^ x),
+    }
+}
+
+/// Packed values of every net under the given fault, for 64 vectors at once.
+fn faulty_values(circuit: &Circuit, fault: &Fault, inputs: &[u64]) -> Vec<u64> {
+    assert_eq!(inputs.len(), circuit.num_inputs(), "packed input count mismatch");
+    let mut values = vec![0u64; circuit.num_nets()];
+    let mut scratch: Vec<u64> = Vec::new();
+
+    // Plain sweep with per-net and per-pin overrides.
+    let mut sweep = |values: &mut Vec<u64>,
+                     net_override: Option<(usize, u64)>,
+                     pin_override: Option<(usize, usize, u64)>,
+                     skip: &[usize]| {
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            let idx = pi.index();
+            if skip.contains(&idx) {
+                continue;
+            }
+            values[idx] = inputs[i];
+            if let Some((t, v)) = net_override {
+                if t == idx {
+                    values[idx] = v;
+                }
+            }
+        }
+        for n in circuit.nets() {
+            let idx = n.index();
+            if skip.contains(&idx) {
+                continue;
+            }
+            if let Driver::Gate { kind, fanins } = circuit.driver(n) {
+                scratch.clear();
+                for (pin, f) in fanins.iter().enumerate() {
+                    let mut v = values[f.index()];
+                    if let Some((sink, p, forced)) = pin_override {
+                        if sink == idx && p == pin {
+                            v = forced;
+                        }
+                    }
+                    scratch.push(v);
+                }
+                let mut v = eval_packed(*kind, &scratch);
+                if let Some((t, forced)) = net_override {
+                    if t == idx {
+                        v = forced;
+                    }
+                }
+                values[idx] = v;
+            }
+        }
+    };
+
+    match fault {
+        Fault::StuckAt(f) => {
+            let forced = if f.value { !0u64 } else { 0u64 };
+            match f.site {
+                FaultSite::Net(n) => {
+                    sweep(&mut values, Some((n.index(), forced)), None, &[]);
+                }
+                FaultSite::Branch(br) => {
+                    sweep(
+                        &mut values,
+                        None,
+                        Some((br.sink.index(), br.pin, forced)),
+                        &[],
+                    );
+                }
+            }
+        }
+        Fault::Bridging(f) => {
+            // Non-feedback guarantees the fanin cones of both wires are
+            // fault-free, so the driven values from a clean sweep are exact.
+            sweep(&mut values, None, None, &[]);
+            let bridged = match f.kind {
+                dp_faults::BridgeKind::And => values[f.a.index()] & values[f.b.index()],
+                dp_faults::BridgeKind::Or => values[f.a.index()] | values[f.b.index()],
+            };
+            values[f.a.index()] = bridged;
+            values[f.b.index()] = bridged;
+            // Re-sweep everything downstream, holding the bridged wires.
+            sweep(&mut values, None, None, &[f.a.index(), f.b.index()]);
+        }
+    }
+    values
+}
+
+/// Packed values of every net with a *multiple* stuck-at fault injected:
+/// every component is pinned simultaneously during one sweep.
+fn multi_faulty_values(
+    circuit: &Circuit,
+    components: &[StuckAtFault],
+    inputs: &[u64],
+) -> Vec<u64> {
+    assert_eq!(inputs.len(), circuit.num_inputs(), "packed input count mismatch");
+    let mut net_override: Vec<Option<u64>> = vec![None; circuit.num_nets()];
+    let mut pin_override: Vec<(usize, usize, u64)> = Vec::new();
+    for f in components {
+        let forced = if f.value { !0u64 } else { 0u64 };
+        match f.site {
+            FaultSite::Net(n) => net_override[n.index()] = Some(forced),
+            FaultSite::Branch(b) => pin_override.push((b.sink.index(), b.pin, forced)),
+        }
+    }
+    let mut values = vec![0u64; circuit.num_nets()];
+    let mut scratch: Vec<u64> = Vec::new();
+    for (i, &pi) in circuit.inputs().iter().enumerate() {
+        values[pi.index()] = net_override[pi.index()].unwrap_or(inputs[i]);
+    }
+    for n in circuit.nets() {
+        let idx = n.index();
+        if let Driver::Gate { kind, fanins } = circuit.driver(n) {
+            scratch.clear();
+            for (pin, f) in fanins.iter().enumerate() {
+                let forced = pin_override
+                    .iter()
+                    .find(|&&(sink, p, _)| sink == idx && p == pin)
+                    .map(|&(_, _, v)| v);
+                scratch.push(forced.unwrap_or(values[f.index()]));
+            }
+            let v = eval_packed(*kind, &scratch);
+            values[idx] = net_override[idx].unwrap_or(v);
+        }
+    }
+    values
+}
+
+/// Exhaustive detectability of a **multiple stuck-at fault** (all
+/// `components` present at once): `(detecting_vectors, total_vectors)`.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 30 primary inputs or `components`
+/// is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dp_faults::checkpoint_faults;
+/// use dp_netlist::generators::c17;
+/// use dp_sim::exhaustive_multi_detectability;
+///
+/// let c = c17();
+/// let faults = checkpoint_faults(&c);
+/// let (det, total) = exhaustive_multi_detectability(&c, &faults[..2]);
+/// assert_eq!(total, 32);
+/// assert!(det <= total);
+/// ```
+pub fn exhaustive_multi_detectability(
+    circuit: &Circuit,
+    components: &[StuckAtFault],
+) -> (u64, u64) {
+    assert!(!components.is_empty(), "a multiple fault needs components");
+    let n = circuit.num_inputs();
+    assert!(n <= 30, "exhaustive simulation beyond 30 inputs is intractable");
+    let total: u64 = 1 << n;
+    let blocks = total.div_ceil(64).max(1);
+    let mut sim = PackedSim::new(circuit);
+    let mut detected = 0u64;
+    let mut inputs = vec![0u64; n];
+    for block in 0..blocks {
+        for (i, word) in inputs.iter_mut().enumerate() {
+            *word = exhaustive_pattern(i, block);
+        }
+        let good: Vec<u64> = {
+            let values = sim.run(&inputs);
+            circuit.outputs().iter().map(|o| values[o.index()]).collect()
+        };
+        let faulty = multi_faulty_values(circuit, components, &inputs);
+        let mut diff = 0u64;
+        for (k, &o) in circuit.outputs().iter().enumerate() {
+            diff |= good[k] ^ faulty[o.index()];
+        }
+        if total < 64 {
+            diff &= (1u64 << total) - 1;
+        }
+        detected += diff.count_ones() as u64;
+    }
+    (detected, total)
+}
+
+/// Returns `true` when `vector` detects the multiple stuck-at fault given
+/// by `components` (all present simultaneously).
+///
+/// # Panics
+///
+/// Panics if `vector.len()` differs from the circuit's input count or
+/// `components` is empty.
+pub fn detects_multi(circuit: &Circuit, components: &[StuckAtFault], vector: &[bool]) -> bool {
+    assert!(!components.is_empty(), "a multiple fault needs components");
+    let inputs: Vec<u64> = vector.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    let values = multi_faulty_values(circuit, components, &inputs);
+    let good = circuit.eval(vector);
+    circuit
+        .outputs()
+        .iter()
+        .zip(good)
+        .any(|(o, g)| (values[o.index()] & 1 == 1) != g)
+}
+
+/// Output values of the faulted circuit on one input vector.
+///
+/// # Panics
+///
+/// Panics if `vector.len()` differs from the circuit's input count.
+///
+/// # Examples
+///
+/// ```
+/// use dp_faults::{checkpoint_faults, Fault};
+/// use dp_netlist::generators::full_adder;
+/// use dp_sim::faulty_outputs;
+///
+/// let c = full_adder();
+/// let f = Fault::from(checkpoint_faults(&c)[1]); // input `a` stuck-at-1
+/// let out = faulty_outputs(&c, &f, &[false, false, false]);
+/// assert_eq!(out, vec![true, false]); // sum sees the stuck 1
+/// ```
+pub fn faulty_outputs(circuit: &Circuit, fault: &Fault, vector: &[bool]) -> Vec<bool> {
+    let inputs: Vec<u64> = vector.iter().map(|&b| if b { 1 } else { 0 }).collect();
+    let values = faulty_values(circuit, fault, &inputs);
+    circuit
+        .outputs()
+        .iter()
+        .map(|o| values[o.index()] & 1 == 1)
+        .collect()
+}
+
+/// Returns `true` when `vector` detects `fault` (some primary output
+/// differs between the good and faulted circuit).
+///
+/// # Panics
+///
+/// Panics if `vector.len()` differs from the circuit's input count.
+pub fn detects(circuit: &Circuit, fault: &Fault, vector: &[bool]) -> bool {
+    let good = circuit.eval(vector);
+    let bad = faulty_outputs(circuit, fault, vector);
+    good != bad
+}
+
+/// Exhaustively simulates all `2^n` input vectors and returns
+/// `(detecting_vectors, total_vectors)` — the brute-force ground truth for
+/// the paper's exact detectabilities.
+///
+/// # Panics
+///
+/// Panics if the circuit has more than 30 primary inputs (use Difference
+/// Propagation instead — avoiding exactly this wall is the paper's point).
+pub fn exhaustive_detectability(circuit: &Circuit, fault: &Fault) -> (u64, u64) {
+    let n = circuit.num_inputs();
+    assert!(n <= 30, "exhaustive simulation beyond 30 inputs is intractable");
+    let total: u64 = 1 << n;
+    let blocks = total.div_ceil(64).max(1);
+    let mut sim = PackedSim::new(circuit);
+    let mut detected = 0u64;
+    let mut inputs = vec![0u64; n];
+    for block in 0..blocks {
+        for (i, word) in inputs.iter_mut().enumerate() {
+            *word = exhaustive_pattern(i, block);
+        }
+        let good: Vec<u64> = {
+            let values = sim.run(&inputs);
+            circuit.outputs().iter().map(|o| values[o.index()]).collect()
+        };
+        let faulty = faulty_values(circuit, fault, &inputs);
+        let mut diff = 0u64;
+        for (k, &o) in circuit.outputs().iter().enumerate() {
+            diff |= good[k] ^ faulty[o.index()];
+        }
+        if total < 64 {
+            diff &= (1u64 << total) - 1;
+        }
+        detected += diff.count_ones() as u64;
+    }
+    (detected, total)
+}
+
+/// Monte-Carlo detectability estimate over `vectors` random input vectors
+/// (rounded up to a multiple of 64), with a fixed seed for reproducibility.
+///
+/// Returns `(detecting, simulated)`.
+pub fn random_detectability(
+    circuit: &Circuit,
+    fault: &Fault,
+    vectors: usize,
+    seed: u64,
+) -> (u64, u64) {
+    let n = circuit.num_inputs();
+    let blocks = vectors.div_ceil(64).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = PackedSim::new(circuit);
+    let mut detected = 0u64;
+    let mut inputs = vec![0u64; n];
+    for _ in 0..blocks {
+        for word in inputs.iter_mut() {
+            *word = rng.random();
+        }
+        let good: Vec<u64> = {
+            let values = sim.run(&inputs);
+            circuit.outputs().iter().map(|o| values[o.index()]).collect()
+        };
+        let faulty = faulty_values(circuit, fault, &inputs);
+        let mut diff = 0u64;
+        for (k, &o) in circuit.outputs().iter().enumerate() {
+            diff |= good[k] ^ faulty[o.index()];
+        }
+        detected += diff.count_ones() as u64;
+    }
+    (detected, blocks as u64 * 64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_faults::{
+        checkpoint_faults, enumerate_nfbfs, BridgeKind, BridgingFault, StuckAtFault,
+    };
+    use dp_netlist::generators::{c17, c95, full_adder};
+
+    #[test]
+    fn stuck_pi_detectability_on_c17() {
+        let c = c17();
+        for f in checkpoint_faults(&c) {
+            let (det, total) = exhaustive_detectability(&c, &Fault::from(f));
+            assert_eq!(total, 32);
+            // Every checkpoint fault of c17 is detectable (c17 is irredundant).
+            assert!(det > 0, "{f} undetectable?");
+        }
+    }
+
+    #[test]
+    fn branch_fault_differs_from_stem_fault() {
+        // In c17, net 11 fans out to gates 16 and 19; a branch fault on one
+        // pin must not equal the stem fault's behaviour everywhere.
+        let c = c17();
+        let n11 = c.find_net("11").unwrap();
+        let branches: Vec<_> = c
+            .fanout_branches()
+            .into_iter()
+            .filter(|b| b.stem == n11)
+            .collect();
+        assert_eq!(branches.len(), 2);
+        let stem_fault = Fault::from(StuckAtFault {
+            site: dp_faults::FaultSite::Net(n11),
+            value: false,
+        });
+        let branch_fault = Fault::from(StuckAtFault {
+            site: dp_faults::FaultSite::Branch(branches[0]),
+            value: false,
+        });
+        let (stem_det, _) = exhaustive_detectability(&c, &stem_fault);
+        let (branch_det, _) = exhaustive_detectability(&c, &branch_fault);
+        assert!(stem_det >= branch_det, "stem dominates its branches");
+        assert!(branch_det > 0);
+    }
+
+    #[test]
+    fn bridging_fault_simulation_on_full_adder() {
+        let c = full_adder();
+        let a = c.find_net("a").unwrap();
+        let ab = c.find_net("ab").unwrap();
+        let f = Fault::from(BridgingFault::new(a, ab, BridgeKind::And));
+        // a=1, b=0: driven a=1, ab=0, bridged AND = 0 -> a reads as 0.
+        // sum = 0^0^cin, cout = 0.
+        let out = faulty_outputs(&c, &f, &[true, false, false]);
+        assert_eq!(out, vec![false, false]);
+        let good = c.eval(&[true, false, false]);
+        assert_eq!(good, vec![true, false]);
+        assert!(detects(&c, &f, &[true, false, false]));
+    }
+
+    #[test]
+    fn or_bridge_is_dual() {
+        let c = full_adder();
+        let a = c.find_net("a").unwrap();
+        let ab = c.find_net("ab").unwrap();
+        let f = Fault::from(BridgingFault::new(a, ab, BridgeKind::Or));
+        // a=0, b=1: driven a=0, ab=0 -> OR = 0, nothing changes.
+        assert!(!detects(&c, &f, &[false, true, false]));
+        // a=1,b=1: driven a=1, ab=1 -> OR = 1, nothing changes either.
+        assert!(!detects(&c, &f, &[true, true, false]));
+    }
+
+    #[test]
+    fn all_nfbfs_have_consistent_exhaustive_counts() {
+        let c = full_adder();
+        for kind in [BridgeKind::And, BridgeKind::Or] {
+            for f in enumerate_nfbfs(&c, kind) {
+                let (det, total) = exhaustive_detectability(&c, &Fault::from(f));
+                assert_eq!(total, 8);
+                assert!(det <= total);
+            }
+        }
+    }
+
+    #[test]
+    fn random_estimate_tracks_exhaustive() {
+        let c = c95();
+        let f = Fault::from(checkpoint_faults(&c)[0]);
+        let (det, total) = exhaustive_detectability(&c, &f);
+        let exact = det as f64 / total as f64;
+        let (rdet, rtotal) = random_detectability(&c, &f, 4096, 42);
+        let estimate = rdet as f64 / rtotal as f64;
+        assert!((exact - estimate).abs() < 0.05, "exact {exact} vs est {estimate}");
+    }
+
+    #[test]
+    fn undetectable_bridge_counts_zero() {
+        // Build x,y into a single AND gate: the AND bridge between the two
+        // inputs is undetectable, exhaustive count must be 0.
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let g = b.gate("g", GateKind::And, &[x, y]).unwrap();
+        b.output(g);
+        let c = b.finish().unwrap();
+        let f = Fault::from(BridgingFault::new(x, y, BridgeKind::And));
+        let (det, _) = exhaustive_detectability(&c, &f);
+        assert_eq!(det, 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Test-set grading: fault simulation with fault dropping.
+//!
+//! Given a candidate test set and a fault list, [`grade_test_set`] reports
+//! which faults the set detects. Faults are dropped as soon as one vector
+//! detects them, which is the standard production flow this crate's
+//! bit-parallel kernels exist to serve — and the independent check used to
+//! grade the ATPG example's output.
+
+use dp_faults::Fault;
+use dp_netlist::Circuit;
+
+use crate::faultsim::detects;
+
+/// The outcome of grading a test set against a fault list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grade {
+    /// For each fault (input order), the index of the first detecting
+    /// vector, or `None` if the set misses it.
+    pub first_detection: Vec<Option<usize>>,
+    /// Number of faults detected.
+    pub detected: usize,
+    /// For each vector (input order), how many *previously undetected*
+    /// faults it newly detected — the classic coverage ramp.
+    pub new_detections_per_vector: Vec<usize>,
+}
+
+impl Grade {
+    /// Fault coverage of the graded set: detected / total.
+    pub fn coverage(&self) -> f64 {
+        if self.first_detection.is_empty() {
+            1.0
+        } else {
+            self.detected as f64 / self.first_detection.len() as f64
+        }
+    }
+
+    /// Cumulative coverage after each vector (for coverage-ramp plots).
+    pub fn coverage_ramp(&self) -> Vec<f64> {
+        let total = self.first_detection.len().max(1) as f64;
+        let mut acc = 0usize;
+        self.new_detections_per_vector
+            .iter()
+            .map(|&n| {
+                acc += n;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+/// Simulates `vectors` against `faults` with fault dropping.
+///
+/// # Examples
+///
+/// ```
+/// use dp_faults::{checkpoint_faults, Fault};
+/// use dp_netlist::generators::c17;
+/// use dp_sim::grade_test_set;
+///
+/// let c = c17();
+/// let faults: Vec<Fault> = checkpoint_faults(&c).into_iter().map(Fault::from).collect();
+/// // The all-zeros and all-ones vectors alone detect some but not all faults.
+/// let grade = grade_test_set(&c, &faults, &[vec![false; 5], vec![true; 5]]);
+/// assert!(grade.detected > 0);
+/// assert!(grade.coverage() < 1.0);
+/// ```
+pub fn grade_test_set(circuit: &Circuit, faults: &[Fault], vectors: &[Vec<bool>]) -> Grade {
+    let mut first_detection: Vec<Option<usize>> = vec![None; faults.len()];
+    let mut new_detections_per_vector = vec![0usize; vectors.len()];
+    let mut remaining: Vec<usize> = (0..faults.len()).collect();
+    for (t, v) in vectors.iter().enumerate() {
+        remaining.retain(|&fi| {
+            if detects(circuit, &faults[fi], v) {
+                first_detection[fi] = Some(t);
+                new_detections_per_vector[t] += 1;
+                false // drop
+            } else {
+                true
+            }
+        });
+        if remaining.is_empty() {
+            break;
+        }
+    }
+    let detected = first_detection.iter().filter(|d| d.is_some()).count();
+    Grade {
+        first_detection,
+        detected,
+        new_detections_per_vector,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_faults::checkpoint_faults;
+    use dp_netlist::generators::{c17, c95};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn all_faults(c: &Circuit) -> Vec<Fault> {
+        checkpoint_faults(c).into_iter().map(Fault::from).collect()
+    }
+
+    #[test]
+    fn empty_vector_set_detects_nothing() {
+        let c = c17();
+        let faults = all_faults(&c);
+        let grade = grade_test_set(&c, &faults, &[]);
+        assert_eq!(grade.detected, 0);
+        assert_eq!(grade.coverage(), 0.0);
+    }
+
+    #[test]
+    fn exhaustive_vectors_detect_everything_detectable() {
+        let c = c17();
+        let faults = all_faults(&c);
+        let vectors: Vec<Vec<bool>> = (0..32u32)
+            .map(|bits| (0..5).map(|i| bits >> i & 1 == 1).collect())
+            .collect();
+        let grade = grade_test_set(&c, &faults, &vectors);
+        assert_eq!(grade.coverage(), 1.0); // c17 is irredundant
+    }
+
+    #[test]
+    fn first_detection_is_truly_first() {
+        let c = c17();
+        let faults = all_faults(&c);
+        let vectors: Vec<Vec<bool>> = (0..32u32)
+            .map(|bits| (0..5).map(|i| bits >> i & 1 == 1).collect())
+            .collect();
+        let grade = grade_test_set(&c, &faults, &vectors);
+        for (fi, fd) in grade.first_detection.iter().enumerate() {
+            let t = fd.expect("full coverage");
+            assert!(detects(&c, &faults[fi], &vectors[t]));
+            for earlier in &vectors[..t] {
+                assert!(!detects(&c, &faults[fi], earlier));
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_ramp_is_monotone_and_consistent() {
+        let c = c95();
+        let faults = all_faults(&c);
+        let mut rng = StdRng::seed_from_u64(9);
+        let vectors: Vec<Vec<bool>> = (0..32)
+            .map(|_| (0..9).map(|_| rng.random()).collect())
+            .collect();
+        let grade = grade_test_set(&c, &faults, &vectors);
+        let ramp = grade.coverage_ramp();
+        assert!(ramp.windows(2).all(|w| w[0] <= w[1]));
+        assert!((ramp.last().unwrap() - grade.coverage()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,190 @@
+//! 64-way bit-parallel circuit evaluation.
+
+use dp_netlist::{Circuit, Driver, GateKind, NetId};
+
+/// Evaluates a gate over packed 64-vector words.
+fn eval_packed(kind: GateKind, inputs: &[u64]) -> u64 {
+    match kind {
+        GateKind::Not => !inputs[0],
+        GateKind::Buf => inputs[0],
+        GateKind::And => inputs.iter().fold(!0u64, |acc, &x| acc & x),
+        GateKind::Nand => !inputs.iter().fold(!0u64, |acc, &x| acc & x),
+        GateKind::Or => inputs.iter().fold(0u64, |acc, &x| acc | x),
+        GateKind::Nor => !inputs.iter().fold(0u64, |acc, &x| acc | x),
+        GateKind::Xor => inputs.iter().fold(0u64, |acc, &x| acc ^ x),
+        GateKind::Xnor => !inputs.iter().fold(0u64, |acc, &x| acc ^ x),
+    }
+}
+
+/// A bit-parallel simulator: bit `k` of every word carries the `k`-th of 64
+/// concurrently simulated input vectors.
+///
+/// # Examples
+///
+/// ```
+/// use dp_netlist::generators::c17;
+/// use dp_sim::PackedSim;
+///
+/// let c = c17();
+/// let mut sim = PackedSim::new(&c);
+/// // Vector 0: all inputs low; vector 1: all inputs high.
+/// let inputs = vec![0b10u64; 5];
+/// let values = sim.run(&inputs);
+/// let out22 = values[c.outputs()[0].index()];
+/// assert_eq!(out22 & 0b11, 0b10); // only the all-high vector raises output 22
+/// ```
+#[derive(Debug)]
+pub struct PackedSim<'a> {
+    circuit: &'a Circuit,
+    values: Vec<u64>,
+    scratch: Vec<u64>,
+}
+
+impl<'a> PackedSim<'a> {
+    /// Creates a simulator bound to a circuit.
+    pub fn new(circuit: &'a Circuit) -> Self {
+        PackedSim {
+            circuit,
+            values: vec![0; circuit.num_nets()],
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Simulates 64 vectors at once. `inputs[i]` packs the value of primary
+    /// input `i` across the 64 vectors. Returns the packed value of every
+    /// net, indexed by [`NetId::index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn run(&mut self, inputs: &[u64]) -> &[u64] {
+        self.run_with(inputs, |_, _, v| v)
+    }
+
+    /// Simulates 64 vectors with a value interceptor: after each net's
+    /// driven value is computed, `intercept(circuit, net, value)` may replace
+    /// it (fault injection hooks into exactly this point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the circuit's input count.
+    pub fn run_with(
+        &mut self,
+        inputs: &[u64],
+        mut intercept: impl FnMut(&Circuit, NetId, u64) -> u64,
+    ) -> &[u64] {
+        let circuit = self.circuit;
+        assert_eq!(
+            inputs.len(),
+            circuit.num_inputs(),
+            "packed input count mismatch"
+        );
+        for (i, &pi) in circuit.inputs().iter().enumerate() {
+            self.values[pi.index()] = intercept(circuit, pi, inputs[i]);
+        }
+        for n in circuit.nets() {
+            if let Driver::Gate { kind, fanins } = circuit.driver(n) {
+                self.scratch.clear();
+                self.scratch
+                    .extend(fanins.iter().map(|f| self.values[f.index()]));
+                let v = eval_packed(*kind, &self.scratch);
+                self.values[n.index()] = intercept(circuit, n, v);
+            }
+        }
+        &self.values
+    }
+
+    /// The packed value of a net from the most recent run.
+    pub fn value(&self, n: NetId) -> u64 {
+        self.values[n.index()]
+    }
+
+    /// The circuit this simulator is bound to.
+    pub fn circuit(&self) -> &Circuit {
+        self.circuit
+    }
+}
+
+/// Packs the canonical exhaustive-enumeration pattern for input `i` within
+/// block `block` of 64 consecutive vectors: vector index `v = block·64 + k`
+/// assigns input `i` the bit `v >> i & 1`.
+pub(crate) fn exhaustive_pattern(input: usize, block: u64) -> u64 {
+    match input {
+        0 => 0xAAAA_AAAA_AAAA_AAAA,
+        1 => 0xCCCC_CCCC_CCCC_CCCC,
+        2 => 0xF0F0_F0F0_F0F0_F0F0,
+        3 => 0xFF00_FF00_FF00_FF00,
+        4 => 0xFFFF_0000_FFFF_0000,
+        5 => 0xFFFF_FFFF_0000_0000,
+        i => {
+            if block >> (i - 6) & 1 == 1 {
+                !0u64
+            } else {
+                0u64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::{c17, full_adder};
+
+    #[test]
+    fn packed_matches_scalar() {
+        let c = c17();
+        let mut sim = PackedSim::new(&c);
+        // One block of 32 exhaustive vectors (5 inputs).
+        let inputs: Vec<u64> = (0..5).map(|i| exhaustive_pattern(i, 0)).collect();
+        let values = sim.run(&inputs).to_vec();
+        for v in 0u64..32 {
+            let scalar: Vec<bool> = (0..5).map(|i| v >> i & 1 == 1).collect();
+            let expect = c.eval_all(&scalar);
+            for n in c.nets() {
+                assert_eq!(
+                    values[n.index()] >> v & 1 == 1,
+                    expect[n.index()],
+                    "net {n} vector {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_pattern_is_consistent() {
+        // Bit k of pattern(i, b) must equal bit i of the vector index.
+        for i in 0..8 {
+            for block in 0..4u64 {
+                let p = exhaustive_pattern(i, block);
+                for k in 0..64u64 {
+                    let v = block * 64 + k;
+                    assert_eq!(p >> k & 1 == 1, v >> i & 1 == 1, "i={i} v={v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interceptor_can_force_values() {
+        let c = full_adder();
+        let target = c.find_net("axb").unwrap();
+        let mut sim = PackedSim::new(&c);
+        let inputs = vec![0u64; 3];
+        let forced = sim
+            .run_with(&inputs, |_, n, v| if n == target { !0u64 } else { v })
+            .to_vec();
+        // a=b=0 so axb would be 0, but forced to 1; sum = axb ^ cin = 1.
+        let sum = c.outputs()[0];
+        assert_eq!(forced[sum.index()], !0u64);
+    }
+
+    #[test]
+    fn value_reads_last_run() {
+        let c = full_adder();
+        let mut sim = PackedSim::new(&c);
+        sim.run(&[!0u64, !0u64, 0u64]);
+        let cout = c.outputs()[1];
+        assert_eq!(sim.value(cout), !0u64);
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: exact fault analysis of C17 with Difference Propagation.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use diffprop::core::DiffProp;
+use diffprop::faults::{
+    checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault,
+};
+use diffprop::netlist::generators::c17;
+
+fn main() {
+    let circuit = c17();
+    println!(
+        "circuit {}: {} inputs, {} outputs, {} gates\n",
+        circuit.name(),
+        circuit.num_inputs(),
+        circuit.num_outputs(),
+        circuit.num_gates()
+    );
+
+    let mut dp = DiffProp::new(&circuit);
+
+    // --- A stuck-at fault -------------------------------------------------
+    let stuck = Fault::from(checkpoint_faults(&circuit)[0]);
+    let analysis = dp.analyze(&stuck);
+    println!("fault: {stuck}");
+    println!("  detectable:      {}", analysis.is_detectable());
+    println!("  detectability:   {:.4}", analysis.detectability);
+    println!("  exact tests:     {:?}", analysis.test_count);
+    println!("  observable POs:  {}/{}", analysis.num_observable(), circuit.num_outputs());
+    if let Some(bound) = dp.detectability_bound(&stuck) {
+        println!("  syndrome bound:  {bound:.4}");
+    }
+    if let Some(adherence) = dp.adherence(&analysis) {
+        println!("  adherence:       {adherence:.4}");
+    }
+    println!("  complete test set as cubes over inputs {:?}:",
+        circuit.inputs().iter().map(|&n| circuit.net_name(n)).collect::<Vec<_>>());
+    for cube in dp.test_cubes(&analysis) {
+        println!("    {cube}  ({} vectors)", cube.num_minterms());
+    }
+
+    // --- A bridging fault -------------------------------------------------
+    let bridge = Fault::from(enumerate_nfbfs(&circuit, BridgeKind::And)[0]);
+    let analysis = dp.analyze(&bridge);
+    println!("\nfault: {bridge}");
+    println!("  detectability:   {:.4}", analysis.detectability);
+    println!("  stuck-at-like:   {}", analysis.site_function_constant);
+    if let Some(vector) = dp.pick_test(&analysis) {
+        println!("  one test vector: {vector:?}");
+        assert!(diffprop::sim::detects(&circuit, &bridge, &vector));
+        println!("  (verified against the bit-parallel fault simulator)");
+    }
+}

@@ -1,0 +1,177 @@
+//! `diffprop` — command-line front end for the library.
+//!
+//! ```text
+//! diffprop stats      <circuit>            structural + testability summary
+//! diffprop analyze    <circuit> [N]        exact analysis of the first N checkpoint faults
+//! diffprop atpg       <circuit>            compact test set + redundancy report
+//! diffprop redundancy <circuit>            prove every net fault detectable or not
+//! diffprop bridges    <circuit> [N]        NFBF study with N sampled faults per kind
+//! ```
+//!
+//! `<circuit>` is a built-in benchmark name (`c17`, `full_adder`, `c95`,
+//! `alu74181`, `c432s`, `c499s`, `c1355s`, `c1908s`) or a path to an
+//! ISCAS-85 `.bench` file.
+
+use diffprop::analysis::{analyze_faults, bridging_universe, stuck_at_universe, Histogram};
+use diffprop::core::{find_redundancies, generate_tests, DiffProp};
+use diffprop::faults::BridgeKind;
+use diffprop::netlist::{generators, parse_bench, Circuit, Scoap};
+
+fn load(arg: &str) -> Circuit {
+    match arg {
+        "c17" => generators::c17(),
+        "full_adder" => generators::full_adder(),
+        "c95" => generators::c95(),
+        "alu74181" => generators::alu74181(),
+        "c432s" => generators::c432_surrogate(),
+        "c499s" => generators::c499_surrogate(),
+        "c1355s" => generators::c1355_surrogate(),
+        "c1908s" => generators::c1908_surrogate(),
+        path => {
+            let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            parse_bench(&src, path).unwrap_or_else(|e| {
+                eprintln!("cannot parse {path}: {e}");
+                std::process::exit(1);
+            })
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: diffprop <stats|analyze|atpg|redundancy|bridges> <circuit> [n]\n\
+         circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, target) = match (args.first(), args.get(1)) {
+        (Some(c), Some(t)) => (c.as_str(), t.as_str()),
+        _ => usage(),
+    };
+    let n: usize = args
+        .get(2)
+        .map(|s| s.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0);
+    let circuit = load(target);
+
+    match cmd {
+        "stats" => stats(&circuit),
+        "analyze" => analyze(&circuit, if n == 0 { 20 } else { n }),
+        "atpg" => atpg(&circuit),
+        "redundancy" => redundancy(&circuit),
+        "bridges" => bridges(&circuit, if n == 0 { 200 } else { n }),
+        _ => usage(),
+    }
+}
+
+fn stats(circuit: &Circuit) {
+    println!("circuit: {}", circuit.name());
+    println!("  inputs:  {}", circuit.num_inputs());
+    println!("  outputs: {}", circuit.num_outputs());
+    println!("  gates:   {}", circuit.num_gates());
+    let levels = circuit.levels_from_inputs();
+    println!("  depth:   {}", levels.iter().max().unwrap_or(&0));
+    println!("  fanout branches: {}", circuit.fanout_branches().len());
+    let scoap = Scoap::compute(circuit);
+    let worst = circuit
+        .nets()
+        .filter(|&n| scoap.co(n) != u32::MAX)
+        .max_by_key(|&n| scoap.stuck_at_cost(n, false).min(scoap.stuck_at_cost(n, true)));
+    if let Some(w) = worst {
+        println!(
+            "  hardest net by SCOAP: {} (CC0 {}, CC1 {}, CO {})",
+            circuit.net_name(w),
+            scoap.cc0(w),
+            scoap.cc1(w),
+            scoap.co(w)
+        );
+    }
+}
+
+fn analyze(circuit: &Circuit, n: usize) {
+    let mut faults = stuck_at_universe(circuit, true);
+    faults.truncate(n);
+    let mut dp = DiffProp::new(circuit);
+    println!("{:<28} {:>10} {:>12} {:>10} {:>6}", "fault", "det prob", "exact tests", "adherence", "POs");
+    for fault in &faults {
+        let a = dp.analyze(fault);
+        let adh = dp
+            .adherence(&a)
+            .map_or_else(|| "-".into(), |x| format!("{x:.4}"));
+        println!(
+            "{:<28} {:>10.4} {:>12} {:>10} {:>3}/{:<2}",
+            fault.to_string(),
+            a.detectability,
+            a.test_count.map_or_else(|| "-".into(), |c| c.to_string()),
+            adh,
+            a.num_observable(),
+            circuit.num_outputs()
+        );
+    }
+    let records = analyze_faults(circuit, &faults);
+    println!("\ndetectability profile:");
+    print!("{}", Histogram::from_values(15, records.iter().map(|r| r.detectability)));
+}
+
+fn atpg(circuit: &Circuit) {
+    let faults: Vec<_> = stuck_at_universe(circuit, false);
+    let t = std::time::Instant::now();
+    let tests = generate_tests(circuit, &faults);
+    println!(
+        "{} vectors cover {}/{} checkpoint faults ({} undetectable) in {:?}",
+        tests.vectors.len(),
+        tests.covered,
+        faults.len(),
+        tests.undetectable.len(),
+        t.elapsed()
+    );
+    for v in &tests.vectors {
+        let s: String = v.iter().map(|&b| if b { '1' } else { '0' }).collect();
+        println!("{s}");
+    }
+}
+
+fn redundancy(circuit: &Circuit) {
+    let t = std::time::Instant::now();
+    let report = find_redundancies(circuit);
+    println!(
+        "{} of {} net faults redundant ({:?})",
+        report.redundant.len(),
+        report.examined,
+        t.elapsed()
+    );
+    for f in &report.redundant {
+        println!("redundant: {} ({})", f, circuit.net_name(f.site.net()));
+    }
+    if report.is_irredundant() {
+        println!("circuit is fully irredundant");
+    }
+}
+
+fn bridges(circuit: &Circuit, n: usize) {
+    for kind in [BridgeKind::And, BridgeKind::Or] {
+        let faults = bridging_universe(circuit, kind, Some(n), 1990);
+        let records = analyze_faults(circuit, &faults);
+        let detectable = records.iter().filter(|r| r.is_detectable()).count();
+        let stuck_like = records.iter().filter(|r| r.site_function_constant).count();
+        let mean = records
+            .iter()
+            .filter(|r| r.is_detectable())
+            .map(|r| r.detectability)
+            .sum::<f64>()
+            / detectable.max(1) as f64;
+        println!(
+            "{kind} NFBFs: {} analysed, {} detectable, {} stuck-at-like, mean det {:.4}",
+            records.len(),
+            detectable,
+            stuck_like,
+            mean
+        );
+    }
+}

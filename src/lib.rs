@@ -1,0 +1,7 @@
+pub use dp_analysis as analysis;
+pub use dp_bdd as bdd;
+pub use dp_core as core;
+pub use dp_faults as faults;
+pub use dp_netlist as netlist;
+pub use dp_podem as podem;
+pub use dp_sim as sim;

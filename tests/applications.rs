@@ -1,0 +1,100 @@
+//! Application-layer integration: ATPG, grading, dictionary diagnosis and
+//! redundancy identification working together across crates.
+
+use diffprop::core::{find_redundancies, generate_tests, FaultDictionary};
+use diffprop::faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
+use diffprop::netlist::generators::{alu74181, c432_surrogate, c95};
+use diffprop::sim::grade_test_set;
+
+/// The ATPG's own claim ("covers everything detectable") graded by the
+/// independent simulator with fault dropping.
+#[test]
+fn grading_confirms_atpg_coverage() {
+    let c = alu74181();
+    let faults: Vec<Fault> = checkpoint_faults(&c).into_iter().map(Fault::from).collect();
+    let tests = generate_tests(&c, &faults);
+    assert!(tests.undetectable.is_empty());
+    let grade = grade_test_set(&c, &faults, &tests.vectors);
+    assert_eq!(grade.coverage(), 1.0);
+    // The coverage ramp is front-loaded: the first half of the vectors
+    // covers well over half of the faults (greedy order).
+    let ramp = grade.coverage_ramp();
+    assert!(ramp[ramp.len() / 2] > 0.5, "ramp {ramp:?}");
+}
+
+/// Random vectors need far more patterns than the deterministic set for the
+/// same coverage — the practical argument for deterministic ATPG.
+#[test]
+fn deterministic_set_beats_random_at_equal_length() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let c = c432_surrogate();
+    let faults: Vec<Fault> = checkpoint_faults(&c)
+        .into_iter()
+        .take(120)
+        .map(Fault::from)
+        .collect();
+    let tests = generate_tests(&c, &faults);
+    let deterministic = grade_test_set(&c, &faults, &tests.vectors);
+    assert_eq!(deterministic.coverage(), 1.0);
+
+    let mut rng = StdRng::seed_from_u64(2024);
+    let random: Vec<Vec<bool>> = (0..tests.vectors.len())
+        .map(|_| (0..c.num_inputs()).map(|_| rng.random()).collect())
+        .collect();
+    let random_grade = grade_test_set(&c, &faults, &random);
+    assert!(
+        random_grade.coverage() < 1.0,
+        "equal-length random set should not reach full coverage on a priority encoder"
+    );
+}
+
+/// Dictionary diagnosis across fault models: a bridging defect observed on
+/// a stuck-at dictionary ranks *some* stuck-at candidate close, but an
+/// extended dictionary that includes bridges pins it exactly.
+#[test]
+fn mixed_model_dictionary_diagnosis() {
+    let c = c95();
+    let mut faults: Vec<Fault> = checkpoint_faults(&c).into_iter().map(Fault::from).collect();
+    let bridges: Vec<Fault> = enumerate_nfbfs(&c, BridgeKind::And)
+        .into_iter()
+        .take(40)
+        .map(Fault::from)
+        .collect();
+    faults.extend(bridges.iter().copied());
+    let tests = generate_tests(&c, &faults);
+    let dict = FaultDictionary::build(&c, &faults, &tests.vectors);
+    // Pick a covered bridging fault as the defect.
+    let defect_index = faults
+        .iter()
+        .position(|f| matches!(f, Fault::Bridging(_)) && !tests.undetectable.contains(f))
+        .expect("a detectable bridge exists");
+    let ranked = dict.diagnose(dict.signature(defect_index));
+    assert_eq!(ranked[0].distance, 0);
+    assert!(ranked
+        .iter()
+        .take_while(|cand| cand.distance == 0)
+        .any(|cand| cand.fault_index == defect_index));
+}
+
+/// Redundancy identification agrees with ATPG's undetectable list on the
+/// same universe.
+#[test]
+fn redundancy_report_matches_atpg_undetectables() {
+    let c = alu74181();
+    let report = find_redundancies(&c);
+    let faults: Vec<Fault> = diffprop::faults::all_stuck_faults(&c)
+        .into_iter()
+        .map(Fault::from)
+        .collect();
+    let tests = generate_tests(&c, &faults);
+    let from_atpg: Vec<_> = tests
+        .undetectable
+        .iter()
+        .map(|f| match f {
+            Fault::StuckAt(s) => *s,
+            Fault::Bridging(_) => unreachable!("stuck-at universe"),
+        })
+        .collect();
+    assert_eq!(report.redundant, from_atpg);
+}
