@@ -4,14 +4,17 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--smoke] [--bf-sample N] [--sa-cap N] [--only figN,figM,...]
+//! figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--only figN,figM,...]
 //! ```
 //!
 //! `--smoke` runs a reduced workload (fast CI check); the default
 //! configuration is paper scale (≈1000 sampled bridging faults per circuit
 //! and kind, full collapsed checkpoint sets). Each circuit's fault records
-//! are computed once and shared across figures. Output of a full run is
-//! recorded in `EXPERIMENTS.md`.
+//! are computed once and shared across figures. `--threads N` shards each
+//! fault sweep over N workers — the printed figure series are bit-identical
+//! to a serial run (see `dp_core::parallel`); per-shard BDD-manager counters
+//! go to stderr alongside the timings. Output of a full run is recorded in
+//! `EXPERIMENTS.md`.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -22,7 +25,10 @@ use dp_analysis::topology::{
     render_curve,
 };
 use dp_analysis::trends::{render_trend, trend_point, TrendPoint};
-use dp_analysis::{analyze_faults, bridging_universe, stuck_at_universe, FaultRecord, Histogram};
+use dp_analysis::{
+    bridging_universe, records_from_sweep, stuck_at_universe, FaultRecord, Histogram,
+};
+use dp_core::{analyze_universe, EngineConfig, Parallelism, SweepResult};
 use dp_faults::BridgeKind;
 use dp_netlist::generators::benchmark_suite;
 use dp_netlist::Circuit;
@@ -59,17 +65,14 @@ impl Lab {
             let mut faults = stuck_at_universe(c, true);
             faults.truncate(self.config.sa_cap);
             let t = Instant::now();
-            let records = analyze_faults(c, &faults);
+            let sweep = analyze_universe(c, &faults, EngineConfig::default(), self.config.parallelism);
+            let records = records_from_sweep(c, &faults, &sweep);
             eprintln!(
                 "  [sa] {name}: {} faults in {:?}",
                 records.len(),
                 t.elapsed()
             );
-            let records = {
-                let c = self.circuit(name);
-                let _ = c;
-                records
-            };
+            report_shards(&sweep);
             self.sa.insert(name.to_string(), records);
         }
         &self.sa[name]
@@ -84,12 +87,14 @@ impl Lab {
             let c = self.circuit(name);
             let faults = bridging_universe(c, kind, Some(self.config.bf_sample), self.config.seed);
             let t = Instant::now();
-            let records = analyze_faults(c, &faults);
+            let sweep = analyze_universe(c, &faults, EngineConfig::default(), self.config.parallelism);
+            let records = records_from_sweep(c, &faults, &sweep);
             eprintln!(
                 "  [bf {kind}] {name}: {} faults in {:?}",
                 records.len(),
                 t.elapsed()
             );
+            report_shards(&sweep);
             match kind {
                 BridgeKind::And => self.bf_and.insert(name.to_string(), records),
                 BridgeKind::Or => self.bf_or.insert(name.to_string(), records),
@@ -124,6 +129,15 @@ fn main() {
                 i += 1;
                 config.sa_cap = args[i].parse().expect("--sa-cap takes a number");
             }
+            "--threads" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--threads takes a number");
+                config.parallelism = if n <= 1 {
+                    Parallelism::Serial
+                } else {
+                    Parallelism::Threads(n)
+                };
+            }
             "--only" => {
                 i += 1;
                 only = Some(args[i].split(',').map(str::to_string).collect());
@@ -131,7 +145,7 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--only fig1,...]"
+                    "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--only fig1,...]"
                 );
                 std::process::exit(2);
             }
@@ -292,6 +306,26 @@ fn main() {
 
 fn section(title: &str) {
     println!("\n=== {title} ===\n");
+}
+
+/// Per-shard BDD-manager counters, on stderr with the timing lines so the
+/// figure series on stdout stay byte-stable across parallelism settings.
+fn report_shards(sweep: &SweepResult) {
+    for shard in &sweep.shards {
+        let unique = &shard.stats.unique;
+        let op = shard.stats.op_total();
+        eprintln!(
+            "    shard {}: {} faults | unique {} lookups {:.1}% hit | op cache {} lookups {:.1}% hit | peak {} nodes | {} gc",
+            shard.shard,
+            shard.faults,
+            unique.lookups,
+            100.0 * unique.hit_rate(),
+            op.lookups,
+            100.0 * op.hit_rate(),
+            shard.stats.peak_nodes,
+            shard.stats.gc_runs
+        );
+    }
 }
 
 fn fmt_rho(rho: Option<f64>) -> String {

@@ -4,11 +4,12 @@
 //! full set (recorded in `EXPERIMENTS.md`) and the Criterion harness in
 //! `crates/bench` times each one.
 
+use dp_core::Parallelism;
 use dp_faults::BridgeKind;
 use dp_netlist::Circuit;
 
 use crate::histogram::Histogram;
-use crate::records::{analyze_faults, bridging_universe, stuck_at_universe, FaultRecord};
+use crate::records::{analyze_faults_with, bridging_universe, stuck_at_universe, FaultRecord};
 use crate::topology::{
     detectability_vs_pi_distance, detectability_vs_po_distance, pos_fed_vs_observed,
     DistanceBucket,
@@ -29,6 +30,9 @@ pub struct ExperimentConfig {
     pub sa_cap: usize,
     /// Sampling seed.
     pub seed: u64,
+    /// How fault sweeps execute. Serial by default; any setting produces
+    /// bit-identical figure series (see `dp_core::parallel`).
+    pub parallelism: Parallelism,
 }
 
 impl Default for ExperimentConfig {
@@ -39,6 +43,7 @@ impl Default for ExperimentConfig {
             bf_sample: 1000,
             sa_cap: usize::MAX,
             seed: 1990,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -51,7 +56,14 @@ impl ExperimentConfig {
             bf_sample: 40,
             sa_cap: 60,
             seed: 1990,
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// The same workload with an explicit execution strategy.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -59,7 +71,7 @@ impl ExperimentConfig {
 pub fn stuck_at_records(circuit: &Circuit, config: &ExperimentConfig) -> Vec<FaultRecord> {
     let mut faults = stuck_at_universe(circuit, true);
     faults.truncate(config.sa_cap);
-    analyze_faults(circuit, &faults)
+    analyze_faults_with(circuit, &faults, config.parallelism)
 }
 
 /// Bridging records for one circuit and kind under a config.
@@ -69,7 +81,7 @@ pub fn bridging_records(
     config: &ExperimentConfig,
 ) -> Vec<FaultRecord> {
     let faults = bridging_universe(circuit, kind, Some(config.bf_sample), config.seed);
-    analyze_faults(circuit, &faults)
+    analyze_faults_with(circuit, &faults, config.parallelism)
 }
 
 /// **Figure 1** — stuck-at detection-probability histogram of a circuit.

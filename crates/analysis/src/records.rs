@@ -1,6 +1,6 @@
 //! Batch fault analysis: one scalar record per fault.
 
-use dp_core::DiffProp;
+use dp_core::{analyze_universe, EngineConfig, Parallelism, SweepResult};
 use dp_faults::{
     checkpoint_faults, collapse_checkpoint_faults, enumerate_nfbfs, sample_nfbfs,
     BridgeKind, Fault, SampleConfig,
@@ -56,13 +56,46 @@ impl FaultRecord {
 /// assert!(records.iter().any(|r| r.is_detectable()));
 /// ```
 pub fn analyze_faults(circuit: &Circuit, faults: &[Fault]) -> Vec<FaultRecord> {
-    let mut dp = DiffProp::new(circuit);
+    analyze_faults_with(circuit, faults, Parallelism::Serial)
+}
+
+/// [`analyze_faults`] with an explicit execution strategy.
+///
+/// The propagation work runs through [`dp_core::analyze_universe`], so the
+/// records are bit-identical across all [`Parallelism`] settings; the
+/// topology fields are structural and computed once on the calling thread.
+pub fn analyze_faults_with(
+    circuit: &Circuit,
+    faults: &[Fault],
+    parallelism: Parallelism,
+) -> Vec<FaultRecord> {
+    records_from_sweep(
+        circuit,
+        faults,
+        &analyze_universe(circuit, faults, EngineConfig::default(), parallelism),
+    )
+}
+
+/// Joins a sweep's per-fault scalars with the circuit's topology facts.
+///
+/// Exposed so callers that also want the sweep's [`ShardReport`]s (the
+/// `figures` binary, the benches) can run [`dp_core::analyze_universe`]
+/// themselves without analysing every fault twice.
+pub fn records_from_sweep(
+    circuit: &Circuit,
+    faults: &[Fault],
+    sweep: &SweepResult,
+) -> Vec<FaultRecord> {
+    assert_eq!(
+        faults.len(),
+        sweep.summaries.len(),
+        "sweep does not cover the fault list"
+    );
     let levels = circuit.levels_from_inputs();
     let to_po = circuit.max_levels_to_output();
     let mut records = Vec::with_capacity(faults.len());
-    for fault in faults {
-        let analysis = dp.analyze(fault);
-        let adherence = dp.adherence(&analysis);
+    for (fault, summary) in faults.iter().zip(&sweep.summaries) {
+        debug_assert_eq!(*fault, summary.fault);
         // A branch fault only influences the circuit through its sink gate,
         // so its fed POs and PO distance go through the sink; net-site and
         // bridging faults use their net(s) directly.
@@ -105,11 +138,11 @@ pub fn analyze_faults(circuit: &Circuit, faults: &[Fault]) -> Vec<FaultRecord> {
             .unwrap_or(0);
         records.push(FaultRecord {
             fault: *fault,
-            detectability: analysis.detectability,
-            adherence,
-            observable_outputs: analysis.num_observable(),
+            detectability: summary.detectability,
+            adherence: summary.adherence,
+            observable_outputs: summary.num_observable(),
             reachable_outputs: reachable.len(),
-            site_function_constant: analysis.site_function_constant,
+            site_function_constant: summary.site_function_constant,
             max_levels_to_po,
             level_from_pi,
         });
@@ -169,6 +202,29 @@ mod tests {
             assert_eq!(*f, r.fault);
             assert!(r.detectability >= 0.0 && r.detectability <= 1.0);
             assert!(r.observable_outputs <= r.reachable_outputs);
+        }
+    }
+
+    #[test]
+    fn parallel_records_match_serial() {
+        let c = full_adder();
+        let mut faults = stuck_at_universe(&c, false);
+        faults.extend(bridging_universe(&c, BridgeKind::And, None, 0));
+        let serial = analyze_faults(&c, &faults);
+        let threaded = analyze_faults_with(&c, &faults, Parallelism::Threads(3));
+        assert_eq!(serial.len(), threaded.len());
+        for (s, t) in serial.iter().zip(&threaded) {
+            assert_eq!(s.fault, t.fault);
+            assert_eq!(s.detectability.to_bits(), t.detectability.to_bits());
+            assert_eq!(
+                s.adherence.map(f64::to_bits),
+                t.adherence.map(f64::to_bits)
+            );
+            assert_eq!(s.observable_outputs, t.observable_outputs);
+            assert_eq!(s.reachable_outputs, t.reachable_outputs);
+            assert_eq!(s.site_function_constant, t.site_function_constant);
+            assert_eq!(s.max_levels_to_po, t.max_levels_to_po);
+            assert_eq!(s.level_from_pi, t.level_from_pi);
         }
     }
 

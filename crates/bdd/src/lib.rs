@@ -38,9 +38,11 @@ mod manager;
 mod ops;
 mod order;
 mod reorder;
+mod stats;
 
 pub use cubes::{Cube, Cubes, Minterms};
 pub use error::BddError;
 pub use manager::{Manager, NodeId, Remap, Var};
 pub use ops::BinOp;
 pub use order::{identity_order, inverse_order};
+pub use stats::{CacheCounters, ManagerStats, OpKind};

@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::error::BddError;
 use crate::ops::OpKey;
+use crate::stats::ManagerStats;
 
 /// A variable index in `0..num_vars`.
 ///
@@ -98,6 +99,7 @@ pub struct Manager {
     var_to_level: Vec<u32>,
     /// `level_to_var[l]` is the variable sitting at position `l`.
     level_to_var: Vec<Var>,
+    pub(crate) stats: ManagerStats,
 }
 
 impl Manager {
@@ -115,11 +117,13 @@ impl Manager {
             op_cache: HashMap::new(),
             var_to_level: (0..num_vars as u32).collect(),
             level_to_var: (0..num_vars as u32).collect(),
+            stats: ManagerStats::default(),
         };
         // Slots 0 and 1 are the terminals; their stored fields are never read
         // through the usual paths but keep indices aligned.
         m.nodes.push(Node { var: u32::MAX, lo: NodeId::FALSE, hi: NodeId::FALSE });
         m.nodes.push(Node { var: u32::MAX, lo: NodeId::TRUE, hi: NodeId::TRUE });
+        m.stats.peak_nodes = m.nodes.len();
         m
     }
 
@@ -268,11 +272,14 @@ impl Manager {
         }
         let node = Node { var, lo, hi };
         if let Some(&id) = self.unique.get(&node) {
+            self.stats.unique.hit();
             return id;
         }
+        self.stats.unique.miss();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);
         self.unique.insert(node, id);
+        self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len());
         id
     }
 
@@ -361,19 +368,32 @@ impl Manager {
         n.is_terminal()
     }
 
+    /// Counters describing this manager's work so far; see [`ManagerStats`]
+    /// for which counters are cumulative and which reset with the op cache.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
     /// Drops the operation cache. Node storage is untouched.
     ///
     /// Useful between unrelated workloads to bound memory without the cost of
-    /// a full [`Manager::gc`].
+    /// a full [`Manager::gc`]. The op-cache counters in [`Manager::stats`]
+    /// are reset along with the cache (each cache generation reports its own
+    /// hit rate); unique-table counters, `gc_runs` and `peak_nodes` are
+    /// untouched.
     pub fn clear_op_cache(&mut self) {
         self.op_cache.clear();
+        self.stats.reset_op_counters();
     }
 
     /// Garbage-collects every node not reachable from `roots`, compacting the
     /// node table. Returns the remapping from old to new ids; apply it to any
     /// retained handles via [`Remap::map`].
     ///
-    /// The operation cache is invalidated.
+    /// The operation cache is invalidated, and the op-cache counters in
+    /// [`Manager::stats`] are reset with it (a collection starts a cold cache
+    /// generation); `gc_runs` is incremented and the cumulative counters are
+    /// untouched.
     ///
     /// # Examples
     ///
@@ -427,6 +447,8 @@ impl Manager {
             self.unique.insert(*node, NodeId(i as u32));
         }
         self.op_cache.clear();
+        self.stats.reset_op_counters();
+        self.stats.gc_runs += 1;
         Remap { map }
     }
 

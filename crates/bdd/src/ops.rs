@@ -1,6 +1,7 @@
 //! Boolean operations: `apply`, negation, `ite`, cofactors and quantifiers.
 
 use crate::manager::{Manager, NodeId, Var, TERMINAL_LEVEL};
+use crate::stats::OpKind;
 
 /// A binary Boolean connective accepted by [`Manager::apply`].
 ///
@@ -125,10 +126,17 @@ impl Manager {
         }
         // Commutative: canonicalise operand order for cache hits.
         let (x, y) = if a <= b { (a, b) } else { (b, a) };
+        let kind = match op {
+            BinOp::And => OpKind::And,
+            BinOp::Or => OpKind::Or,
+            BinOp::Xor => OpKind::Xor,
+        };
         let key = OpKey::Bin(op, x, y);
         if let Some(&r) = self.op_cache.get(&key) {
+            self.stats[kind].hit();
             return r;
         }
+        self.stats[kind].miss();
         let (var, a0, a1, b0, b1) = self.top_split(x, y);
         let lo = self.apply(op, a0, b0);
         let hi = self.apply(op, a1, b1);
@@ -162,8 +170,10 @@ impl Manager {
         }
         let key = OpKey::Not(a);
         if let Some(&r) = self.op_cache.get(&key) {
+            self.stats[OpKind::Not].hit();
             return r;
         }
+        self.stats[OpKind::Not].miss();
         let var = self.node_var(a);
         let (alo, ahi) = (self.node_lo(a), self.node_hi(a));
         let lo = self.not(alo);
@@ -230,8 +240,10 @@ impl Manager {
         }
         let key = OpKey::Ite(f, g, h);
         if let Some(&r) = self.op_cache.get(&key) {
+            self.stats[OpKind::Ite].hit();
             return r;
         }
+        self.stats[OpKind::Ite].miss();
         let lf = self.node_level(f);
         let lg = self.node_level(g);
         let lh = self.node_level(h);
@@ -272,8 +284,10 @@ impl Manager {
         }
         let key = OpKey::Restrict(f, v, value);
         if let Some(&r) = self.op_cache.get(&key) {
+            self.stats[OpKind::Restrict].hit();
             return r;
         }
+        self.stats[OpKind::Restrict].miss();
         let var = self.node_var(f);
         let (lo, hi) = (self.node_lo(f), self.node_hi(f));
         let r = if fl == vl {
@@ -300,8 +314,10 @@ impl Manager {
         assert!((v as usize) < self.num_vars(), "variable out of range");
         let key = OpKey::Compose(f, v, g);
         if let Some(&r) = self.op_cache.get(&key) {
+            self.stats[OpKind::Compose].hit();
             return r;
         }
+        self.stats[OpKind::Compose].miss();
         let f0 = self.restrict(f, v, false);
         let f1 = self.restrict(f, v, true);
         let r = self.ite(g, f1, f0);
@@ -343,6 +359,11 @@ impl Manager {
             .iter()
             .all(|&v| v < 64)
             .then(|| vars.iter().fold(0u64, |m, &v| m | 1u64 << v));
+        let kind = if existential {
+            OpKind::Exists
+        } else {
+            OpKind::Forall
+        };
         if let Some(mask) = mask {
             let key = if existential {
                 OpKey::Exists(f, mask)
@@ -350,8 +371,10 @@ impl Manager {
                 OpKey::Forall(f, mask)
             };
             if let Some(&r) = self.op_cache.get(&key) {
+                self.stats[kind].hit();
                 return r;
             }
+            self.stats[kind].miss();
         }
         let mut r = f;
         for &v in vars {

@@ -1,0 +1,286 @@
+//! Manager observability: unique-table and operation-cache counters.
+//!
+//! Every [`Manager`](crate::Manager) carries a [`ManagerStats`] block that the
+//! hot paths update as they run. The counters answer the questions that matter
+//! when tuning a Difference Propagation sweep: how often the unique table
+//! deduplicates a node, how well each operation's memoisation cache performs,
+//! how many collections ran, and how large the node table ever grew.
+//!
+//! # Counter lifetimes
+//!
+//! * **Unique-table counters, `gc_runs` and `peak_nodes` are cumulative** over
+//!   the manager's lifetime; nothing resets them.
+//! * **Op-cache counters are reset whenever the cache itself is dropped** —
+//!   by [`Manager::gc`](crate::Manager::gc) or
+//!   [`Manager::clear_op_cache`](crate::Manager::clear_op_cache). A cleared
+//!   cache starts cold, so carrying hit/miss tallies across the clear would
+//!   make the hit *rate* uninterpretable; each op-cache generation reports its
+//!   own rate instead.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The memoised operation families tracked by [`ManagerStats`].
+///
+/// Binary `apply` is split by connective so asymmetries show up (Difference
+/// Propagation is XOR-heavy; a cold XOR cache and a warm AND cache are
+/// different problems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `apply` with [`BinOp::And`](crate::BinOp::And).
+    And,
+    /// `apply` with [`BinOp::Or`](crate::BinOp::Or).
+    Or,
+    /// `apply` with [`BinOp::Xor`](crate::BinOp::Xor).
+    Xor,
+    /// Negation.
+    Not,
+    /// If-then-else.
+    Ite,
+    /// Single-variable cofactor.
+    Restrict,
+    /// Functional composition.
+    Compose,
+    /// Existential quantification.
+    Exists,
+    /// Universal quantification.
+    Forall,
+}
+
+impl OpKind {
+    /// All tracked operation families, in display order.
+    pub const ALL: [OpKind; 9] = [
+        OpKind::And,
+        OpKind::Or,
+        OpKind::Xor,
+        OpKind::Not,
+        OpKind::Ite,
+        OpKind::Restrict,
+        OpKind::Compose,
+        OpKind::Exists,
+        OpKind::Forall,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            OpKind::And => "and",
+            OpKind::Or => "or",
+            OpKind::Xor => "xor",
+            OpKind::Not => "not",
+            OpKind::Ite => "ite",
+            OpKind::Restrict => "restrict",
+            OpKind::Compose => "compose",
+            OpKind::Exists => "exists",
+            OpKind::Forall => "forall",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            OpKind::And => 0,
+            OpKind::Or => 1,
+            OpKind::Xor => 2,
+            OpKind::Not => 3,
+            OpKind::Ite => 4,
+            OpKind::Restrict => 5,
+            OpKind::Compose => 6,
+            OpKind::Exists => 7,
+            OpKind::Forall => 8,
+        }
+    }
+}
+
+/// Hit/miss tallies for one cache (or one operation family's slice of the
+/// op cache).
+///
+/// `lookups`, `hits` and `misses` are counted independently at the probe
+/// sites, so `hits + misses == lookups` is a checkable invariant rather than
+/// a definition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Probes against the cache.
+    pub lookups: u64,
+    /// Probes that found an entry.
+    pub hits: u64,
+    /// Probes that found nothing (an entry is inserted afterwards).
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Fraction of lookups that hit, or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Component-wise sum.
+    pub fn merged(self, other: CacheCounters) -> CacheCounters {
+        CacheCounters {
+            lookups: self.lookups + other.lookups,
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+        }
+    }
+
+    pub(crate) fn hit(&mut self) {
+        self.lookups += 1;
+        self.hits += 1;
+    }
+
+    pub(crate) fn miss(&mut self) {
+        self.lookups += 1;
+        self.misses += 1;
+    }
+}
+
+/// Counters maintained by a [`Manager`](crate::Manager); read them through
+/// [`Manager::stats`](crate::Manager::stats).
+///
+/// See the [module docs](self) for which counters are cumulative and which
+/// reset with the op cache.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ManagerStats {
+    /// Unique-table (hash-consing) probes made by `mk`. Cumulative.
+    pub unique: CacheCounters,
+    /// Per-family op-cache probes. Reset when the op cache is cleared.
+    op: [CacheCounters; 9],
+    /// Completed [`Manager::gc`](crate::Manager::gc) runs. Cumulative.
+    pub gc_runs: u64,
+    /// Largest node-table length ever observed (terminals included).
+    /// Cumulative; never shrinks, even across GC compactions.
+    pub peak_nodes: usize,
+}
+
+impl Index<OpKind> for ManagerStats {
+    type Output = CacheCounters;
+
+    fn index(&self, kind: OpKind) -> &CacheCounters {
+        &self.op[kind.index()]
+    }
+}
+
+impl IndexMut<OpKind> for ManagerStats {
+    fn index_mut(&mut self, kind: OpKind) -> &mut CacheCounters {
+        &mut self.op[kind.index()]
+    }
+}
+
+impl ManagerStats {
+    /// Op-cache counters summed over every operation family.
+    pub fn op_total(&self) -> CacheCounters {
+        self.op
+            .iter()
+            .fold(CacheCounters::default(), |acc, &c| acc.merged(c))
+    }
+
+    /// Component-wise sum of two stats blocks (`peak_nodes` takes the max).
+    ///
+    /// Useful for aggregating per-shard managers into a sweep-level view.
+    pub fn merged(&self, other: &ManagerStats) -> ManagerStats {
+        let mut op = self.op;
+        for (a, b) in op.iter_mut().zip(other.op.iter()) {
+            *a = a.merged(*b);
+        }
+        ManagerStats {
+            unique: self.unique.merged(other.unique),
+            op,
+            gc_runs: self.gc_runs + other.gc_runs,
+            peak_nodes: self.peak_nodes.max(other.peak_nodes),
+        }
+    }
+
+    /// Called when the op cache is dropped: each cache generation reports its
+    /// own hit rate (see the module docs).
+    pub(crate) fn reset_op_counters(&mut self) {
+        self.op = Default::default();
+    }
+}
+
+impl fmt::Display for ManagerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "unique: {} lookups, {:.1}% hit | peak {} nodes | {} gc runs",
+            self.unique.lookups,
+            100.0 * self.unique.hit_rate(),
+            self.peak_nodes,
+            self.gc_runs
+        )?;
+        let total = self.op_total();
+        writeln!(
+            f,
+            "op cache: {} lookups, {:.1}% hit",
+            total.lookups,
+            100.0 * total.hit_rate()
+        )?;
+        for kind in OpKind::ALL {
+            let c = self[kind];
+            if c.lookups == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<8} {:>10} lookups  {:>10} hits  {:>10} misses  ({:.1}%)",
+                kind.name(),
+                c.lookups,
+                c.hits,
+                c.misses,
+                100.0 * c.hit_rate()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let mut c = CacheCounters::default();
+        c.hit();
+        c.miss();
+        c.hit();
+        assert_eq!(c.lookups, 3);
+        assert_eq!(c.hits, 2);
+        assert_eq!(c.misses, 1);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_rate_of_empty_counters_is_zero() {
+        assert_eq!(CacheCounters::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merged_sums_and_maxes() {
+        let mut a = ManagerStats::default();
+        let mut b = ManagerStats::default();
+        a.unique.hit();
+        a[OpKind::Xor].miss();
+        a.peak_nodes = 10;
+        a.gc_runs = 1;
+        b.unique.miss();
+        b[OpKind::Xor].hit();
+        b.peak_nodes = 7;
+        let m = a.merged(&b);
+        assert_eq!(m.unique.lookups, 2);
+        assert_eq!(m[OpKind::Xor].lookups, 2);
+        assert_eq!(m[OpKind::Xor].hits, 1);
+        assert_eq!(m.peak_nodes, 10);
+        assert_eq!(m.gc_runs, 1);
+    }
+
+    #[test]
+    fn display_lists_active_ops_only() {
+        let mut s = ManagerStats::default();
+        s[OpKind::Ite].hit();
+        let text = s.to_string();
+        assert!(text.contains("ite"));
+        assert!(!text.contains("restrict"));
+    }
+}

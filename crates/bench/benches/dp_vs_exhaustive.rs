@@ -9,8 +9,8 @@
 //! keeps going (`c432s`, 36 inputs, appears DP-only).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dp_bench::some_stuck_faults;
-use dp_core::DiffProp;
+use dp_bench::{parallelism_from_env, some_stuck_faults};
+use dp_core::{analyze_universe, EngineConfig};
 use dp_netlist::generators::{alu74181, c17, c432_surrogate, c95};
 use dp_sim::exhaustive_detectability;
 use std::hint::black_box;
@@ -18,6 +18,9 @@ use std::hint::black_box;
 const FAULTS: usize = 12;
 
 fn bench_dp_vs_exhaustive(c: &mut Criterion) {
+    // Serial by default; DP_BENCH_THREADS=N shards the DP sweeps without
+    // changing the computed detectabilities.
+    let parallelism = parallelism_from_env();
     let mut group = c.benchmark_group("dp_vs_exhaustive");
     group.sample_size(10);
 
@@ -25,11 +28,9 @@ fn bench_dp_vs_exhaustive(c: &mut Criterion) {
         let faults = some_stuck_faults(&circuit, FAULTS);
         group.bench_function(format!("{}/diffprop", circuit.name()), |b| {
             b.iter(|| {
-                let mut dp = DiffProp::new(&circuit);
-                let mut acc = 0.0;
-                for f in &faults {
-                    acc += dp.analyze(f).detectability;
-                }
+                let sweep =
+                    analyze_universe(&circuit, &faults, EngineConfig::default(), parallelism);
+                let acc: f64 = sweep.summaries.iter().map(|s| s.detectability).sum();
                 black_box(acc)
             })
         });
@@ -50,11 +51,8 @@ fn bench_dp_vs_exhaustive(c: &mut Criterion) {
     let faults = some_stuck_faults(&big, FAULTS);
     group.bench_function("c432s/diffprop_only", |b| {
         b.iter(|| {
-            let mut dp = DiffProp::new(&big);
-            let mut acc = 0.0;
-            for f in &faults {
-                acc += dp.analyze(f).detectability;
-            }
+            let sweep = analyze_universe(&big, &faults, EngineConfig::default(), parallelism);
+            let acc: f64 = sweep.summaries.iter().map(|s| s.detectability).sum();
             black_box(acc)
         })
     });

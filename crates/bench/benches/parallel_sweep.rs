@@ -1,0 +1,86 @@
+//! Serial vs sharded fault-universe sweeps (`dp_core::analyze_universe`).
+//!
+//! The workload the acceptance story cares about: the full collapsed
+//! checkpoint stuck-at universe of the 74LS181 ALU, analysed end to end
+//! (per-shard good-function build included, exactly as a cold sweep pays
+//! it). On a multicore host `threads=4` should finish the sweep at least
+//! ~2× faster than serial; on a single hardware thread the sharded runs
+//! only measure the sharding overhead. Either way the summaries are
+//! bit-identical — `verify_identical` asserts that before any timing runs.
+//!
+//! A bridging-universe group rides along because NFBF sweeps are the
+//! paper's expensive case (§2.2) and shard the same way.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dp_core::{analyze_universe, EngineConfig, Parallelism};
+use dp_faults::{enumerate_nfbfs, BridgeKind, Fault};
+use dp_netlist::generators::alu74181;
+use dp_netlist::Circuit;
+use std::hint::black_box;
+
+use dp_analysis::stuck_at_universe;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn verify_identical(circuit: &Circuit, faults: &[Fault]) {
+    let serial = analyze_universe(circuit, faults, EngineConfig::default(), Parallelism::Serial);
+    for n in THREAD_COUNTS {
+        let sharded = analyze_universe(
+            circuit,
+            faults,
+            EngineConfig::default(),
+            Parallelism::Threads(n),
+        );
+        assert_eq!(
+            serial.summaries, sharded.summaries,
+            "threads={n} diverged from serial"
+        );
+    }
+}
+
+fn sweep_group(c: &mut Criterion, group_name: &str, circuit: &Circuit, faults: &[Fault]) {
+    verify_identical(circuit, faults);
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(analyze_universe(
+                circuit,
+                faults,
+                EngineConfig::default(),
+                Parallelism::Serial,
+            ))
+        })
+    });
+    for n in THREAD_COUNTS {
+        group.bench_function(format!("threads_{n}"), |b| {
+            b.iter(|| {
+                black_box(analyze_universe(
+                    circuit,
+                    faults,
+                    EngineConfig::default(),
+                    Parallelism::Threads(n),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_sweep(c: &mut Criterion) {
+    let circuit = alu74181();
+
+    // Full stuck-at sweep: the collapsed checkpoint universe, uncapped.
+    let sa_faults = stuck_at_universe(&circuit, true);
+    sweep_group(c, "parallel_sweep/alu74181_stuck_at", &circuit, &sa_faults);
+
+    // Bridging sweep: all AND-type NFBFs of the same ALU.
+    let bf_faults: Vec<Fault> = enumerate_nfbfs(&circuit, BridgeKind::And)
+        .into_iter()
+        .map(Fault::from)
+        .collect();
+    sweep_group(c, "parallel_sweep/alu74181_nfbf_and", &circuit, &bf_faults);
+}
+
+criterion_group!(benches, bench_parallel_sweep);
+criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! * `ablations` — selective trace, Table 1 at the engine level, variable
 //!   order, and n-input gate decomposition.
 
+use dp_core::Parallelism;
 use dp_faults::{checkpoint_faults, Fault};
 use dp_netlist::Circuit;
 
@@ -19,4 +20,19 @@ pub fn some_stuck_faults(circuit: &Circuit, count: usize) -> Vec<Fault> {
         .take(count)
         .map(Fault::from)
         .collect()
+}
+
+/// The sweep-execution knob shared by the bench targets: set
+/// `DP_BENCH_THREADS=N` to shard fault sweeps over `N` workers; unset (or
+/// `N <= 1`) keeps the serial default, so recorded baseline numbers are
+/// unchanged unless a run opts in. Results are bit-identical either way
+/// (see `dp_core::parallel`).
+pub fn parallelism_from_env() -> Parallelism {
+    match std::env::var("DP_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 1 => Parallelism::Threads(n),
+        _ => Parallelism::Serial,
+    }
 }

@@ -65,6 +65,7 @@ mod dictionary;
 mod engine;
 mod good;
 mod observability;
+mod parallel;
 mod redundancy;
 
 pub use atpg::{generate_tests, generate_tests_with, TestSet};
@@ -73,4 +74,5 @@ pub use dictionary::{Candidate, FaultDictionary, Signature};
 pub use engine::{DiffProp, EngineConfig, FaultAnalysis, MultiFaultAnalysis};
 pub use good::GoodFunctions;
 pub use observability::Observability;
+pub use parallel::{analyze_universe, FaultSummary, Parallelism, ShardReport, SweepResult};
 pub use redundancy::{find_redundancies, RedundancyReport};

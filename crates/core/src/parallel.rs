@@ -1,0 +1,373 @@
+//! Sharded fault-universe analysis.
+//!
+//! A Difference Propagation sweep over a fault universe is embarrassingly
+//! parallel at the fault level: each analysis needs only the circuit, the
+//! good functions, and the fault itself. This module partitions a fault
+//! slice into contiguous shards, hands each shard to a worker that owns a
+//! **private** BDD [`Manager`](dp_bdd::Manager) + [`GoodFunctions`] (built
+//! once per shard), and merges the per-fault scalar results back in the
+//! original fault order.
+//!
+//! # Determinism
+//!
+//! The merged results are **bit-identical to the serial engine regardless of
+//! thread count**. That is not an accident of scheduling but a consequence
+//! of OBDD canonicity: for a fixed variable order, every difference function
+//! a worker computes is the canonical DAG of the same Boolean function the
+//! serial engine computes, so the derived scalars (`sat_count`-based
+//! detectability and test counts, per-output observability, site-constancy)
+//! cannot depend on the manager's allocation history, cache contents, or
+//! which shard the fault landed in. The only sharding-visible artefacts are
+//! `NodeId` handles — which is why [`FaultSummary`] carries scalars only.
+//!
+//! # Examples
+//!
+//! ```
+//! use dp_core::{analyze_universe, EngineConfig, Parallelism};
+//! use dp_faults::{checkpoint_faults, Fault};
+//! use dp_netlist::generators::c17;
+//!
+//! let circuit = c17();
+//! let faults: Vec<Fault> = checkpoint_faults(&circuit).into_iter().map(Fault::from).collect();
+//! let serial = analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Serial);
+//! let sharded = analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Threads(2));
+//! assert_eq!(serial.summaries, sharded.summaries);
+//! ```
+
+use dp_bdd::ManagerStats;
+use dp_faults::Fault;
+use dp_netlist::Circuit;
+
+use crate::engine::{DiffProp, EngineConfig};
+
+/// How a fault-universe sweep is executed.
+///
+/// `Serial` is the default everywhere so existing figure pipelines are
+/// unchanged unless a caller opts in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// One worker on the calling thread — the reference execution.
+    #[default]
+    Serial,
+    /// Up to `n` scoped worker threads, each owning a private manager.
+    /// `Threads(0)` and `Threads(1)` degrade to one worker.
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The number of workers this setting asks for (at least 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// Shards actually used for `num_faults` faults: never more shards than
+    /// faults (an empty shard would build good functions for nothing).
+    fn shards_for(self, num_faults: usize) -> usize {
+        self.workers().min(num_faults).max(1)
+    }
+}
+
+/// Per-fault scalar record produced by a sweep.
+///
+/// Deliberately holds no `NodeId`s: scalars survive the worker's manager and
+/// are comparable across executions (see the module docs on determinism).
+/// Detectability and adherence are compared exactly — equality on `f64` here
+/// means equality of `to_bits`, which the determinism property tests rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSummary {
+    /// The fault analysed.
+    pub fault: Fault,
+    /// Exact detection probability `|test_set| / 2^n`.
+    pub detectability: f64,
+    /// Exact number of detecting vectors (circuits of ≤ 127 inputs).
+    pub test_count: Option<u128>,
+    /// Per-output observability flags, in primary-output order.
+    pub observable_outputs: Vec<bool>,
+    /// Whether the faulty site function is constant (paper §4.2; always
+    /// `true` for stuck-at faults).
+    pub site_function_constant: bool,
+    /// Detectability divided by its syndrome bound (`None` for undetectable
+    /// faults and for bridges without a defined bound).
+    pub adherence: Option<f64>,
+}
+
+impl FaultSummary {
+    /// `true` when at least one vector detects the fault.
+    pub fn is_detectable(&self) -> bool {
+        self.detectability > 0.0
+    }
+
+    /// Number of primary outputs at which the fault is observable.
+    pub fn num_observable(&self) -> usize {
+        self.observable_outputs.iter().filter(|&&b| b).count()
+    }
+}
+
+/// What one shard did: its slice of the universe and its manager's counters.
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index in `0..shards` (shard order is fault order).
+    pub shard: usize,
+    /// Number of faults this shard analysed.
+    pub faults: usize,
+    /// Counters of the shard's private BDD manager at the end of its run.
+    pub stats: ManagerStats,
+}
+
+/// The merged outcome of a sweep: per-fault summaries in the original fault
+/// order plus one [`ShardReport`] per worker.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// One summary per input fault, in input order.
+    pub summaries: Vec<FaultSummary>,
+    /// One report per shard, in shard (= fault) order.
+    pub shards: Vec<ShardReport>,
+}
+
+impl SweepResult {
+    /// All shard counters merged into a sweep-level view
+    /// (sums, with `peak_nodes` taking the max across shards).
+    pub fn merged_stats(&self) -> ManagerStats {
+        self.shards
+            .iter()
+            .fold(ManagerStats::default(), |acc, s| acc.merged(&s.stats))
+    }
+}
+
+/// Analyses every fault in `faults` against `circuit`, sharded according to
+/// `parallelism`, and returns summaries **in the input fault order**.
+///
+/// Each shard builds its own [`GoodFunctions`](crate::GoodFunctions) once and
+/// reuses them for all its faults, exactly like a serial [`DiffProp`] would;
+/// `Parallelism::Serial` runs the identical single-shard code path on the
+/// calling thread. Results are bit-identical across all `parallelism`
+/// settings (see the module docs).
+pub fn analyze_universe(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: EngineConfig,
+    parallelism: Parallelism,
+) -> SweepResult {
+    let shards = parallelism.shards_for(faults.len());
+    let chunk_len = faults.len().div_ceil(shards);
+    if shards <= 1 {
+        let (summaries, stats) = analyze_shard(circuit, faults, config);
+        return SweepResult {
+            summaries,
+            shards: vec![ShardReport {
+                shard: 0,
+                faults: faults.len(),
+                stats,
+            }],
+        };
+    }
+
+    let chunks: Vec<&[Fault]> = faults.chunks(chunk_len).collect();
+    let per_shard: Vec<(Vec<FaultSummary>, ManagerStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&chunk| scope.spawn(move || analyze_shard(circuit, chunk, config)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Contiguous chunks merged in shard order reconstruct the input order.
+    let mut summaries = Vec::with_capacity(faults.len());
+    let mut reports = Vec::with_capacity(per_shard.len());
+    for (shard, (shard_summaries, stats)) in per_shard.into_iter().enumerate() {
+        reports.push(ShardReport {
+            shard,
+            faults: shard_summaries.len(),
+            stats,
+        });
+        summaries.extend(shard_summaries);
+    }
+    SweepResult {
+        summaries,
+        shards: reports,
+    }
+}
+
+/// The worker: one private engine, one contiguous slice of the universe.
+fn analyze_shard(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: EngineConfig,
+) -> (Vec<FaultSummary>, ManagerStats) {
+    let mut dp = DiffProp::with_config(circuit, config);
+    let summaries = faults
+        .iter()
+        .map(|fault| {
+            let analysis = dp.analyze(fault);
+            let adherence = dp.adherence(&analysis);
+            FaultSummary {
+                fault: *fault,
+                detectability: analysis.detectability,
+                test_count: analysis.test_count,
+                observable_outputs: analysis.observable_outputs,
+                site_function_constant: analysis.site_function_constant,
+                adherence,
+            }
+        })
+        .collect();
+    let stats = dp.good().manager().stats().clone();
+    (summaries, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind};
+    use dp_netlist::generators::{c17, full_adder};
+
+    fn stuck_at_universe(circuit: &Circuit) -> Vec<Fault> {
+        checkpoint_faults(circuit)
+            .into_iter()
+            .map(Fault::from)
+            .collect()
+    }
+
+    /// Exact equality including the f64 bit patterns the public docs promise.
+    fn assert_bit_identical(a: &[FaultSummary], b: &[FaultSummary]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x, y);
+            assert_eq!(x.detectability.to_bits(), y.detectability.to_bits());
+            match (x.adherence, y.adherence) {
+                (Some(p), Some(q)) => assert_eq!(p.to_bits(), q.to_bits()),
+                (None, None) => {}
+                other => panic!("adherence mismatch: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn serial_matches_engine_directly() {
+        let circuit = c17();
+        let faults = stuck_at_universe(&circuit);
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Serial,
+        );
+        let mut dp = DiffProp::new(&circuit);
+        assert_eq!(sweep.summaries.len(), faults.len());
+        for (summary, fault) in sweep.summaries.iter().zip(&faults) {
+            let a = dp.analyze(fault);
+            assert_eq!(summary.fault, *fault);
+            assert_eq!(summary.detectability.to_bits(), a.detectability.to_bits());
+            assert_eq!(summary.test_count, a.test_count);
+            assert_eq!(summary.observable_outputs, a.observable_outputs);
+            assert_eq!(summary.site_function_constant, a.site_function_constant);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_stuck_at() {
+        let circuit = c17();
+        let faults = stuck_at_universe(&circuit);
+        let config = EngineConfig::default();
+        let serial = analyze_universe(&circuit, &faults, config, Parallelism::Serial);
+        for n in [1, 2, 3, 4, 7] {
+            let sharded = analyze_universe(&circuit, &faults, config, Parallelism::Threads(n));
+            assert_bit_identical(&serial.summaries, &sharded.summaries);
+        }
+    }
+
+    #[test]
+    fn sharded_matches_serial_on_bridges() {
+        let circuit = full_adder();
+        let mut faults = Vec::new();
+        for kind in [BridgeKind::And, BridgeKind::Or] {
+            faults.extend(enumerate_nfbfs(&circuit, kind).into_iter().map(Fault::from));
+        }
+        assert!(faults.len() > 8, "expected a non-trivial bridge universe");
+        let config = EngineConfig::default();
+        let serial = analyze_universe(&circuit, &faults, config, Parallelism::Serial);
+        let sharded = analyze_universe(&circuit, &faults, config, Parallelism::Threads(4));
+        assert_bit_identical(&serial.summaries, &sharded.summaries);
+    }
+
+    #[test]
+    fn more_workers_than_faults_degrades_gracefully() {
+        let circuit = c17();
+        let faults: Vec<Fault> = stuck_at_universe(&circuit).into_iter().take(3).collect();
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Threads(64),
+        );
+        assert_eq!(sweep.summaries.len(), 3);
+        assert_eq!(sweep.shards.len(), 3, "no empty shards");
+        assert!(sweep.shards.iter().all(|s| s.faults == 1));
+    }
+
+    #[test]
+    fn empty_universe_yields_one_idle_shard() {
+        let circuit = c17();
+        let sweep = analyze_universe(
+            &circuit,
+            &[],
+            EngineConfig::default(),
+            Parallelism::Threads(4),
+        );
+        assert!(sweep.summaries.is_empty());
+        assert_eq!(sweep.shards.len(), 1);
+        assert_eq!(sweep.shards[0].faults, 0);
+    }
+
+    #[test]
+    fn shard_reports_cover_the_universe_and_carry_stats() {
+        let circuit = c17();
+        let faults = stuck_at_universe(&circuit);
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Threads(2),
+        );
+        assert_eq!(sweep.shards.len(), 2);
+        assert_eq!(
+            sweep.shards.iter().map(|s| s.faults).sum::<usize>(),
+            faults.len()
+        );
+        for report in &sweep.shards {
+            // Every shard built good functions and propagated differences.
+            assert!(report.stats.unique.lookups > 0, "shard {}", report.shard);
+            assert!(report.stats.peak_nodes > 2, "shard {}", report.shard);
+        }
+        let merged = sweep.merged_stats();
+        assert_eq!(
+            merged.unique.lookups,
+            sweep
+                .shards
+                .iter()
+                .map(|s| s.stats.unique.lookups)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn threads_zero_behaves_like_one_worker() {
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(4).workers(), 4);
+        let circuit = c17();
+        let faults = stuck_at_universe(&circuit);
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Threads(0),
+        );
+        assert_eq!(sweep.shards.len(), 1);
+    }
+}

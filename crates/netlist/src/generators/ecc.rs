@@ -340,8 +340,8 @@ mod tests {
         for _ in 0..20 {
             let data: u32 = rng.random();
             let checks = encode32(data);
-            let bit = rng.random_range(0..32);
-            let corrupted = data ^ (1 << bit);
+            let bit: u32 = rng.random_range(0..32);
+            let corrupted = data ^ (1u32 << bit);
             assert_eq!(drive499(&c, corrupted, checks, true), data, "bit {bit}");
             // Correction disabled: the error stays.
             assert_eq!(drive499(&c, corrupted, checks, false), corrupted);
@@ -431,8 +431,8 @@ mod tests {
         for _ in 0..15 {
             let data = rng.random::<u32>() & 0xFFFF;
             let (checks, pall) = encode16(data);
-            let bit = rng.random_range(0..16);
-            let corrupted = data ^ (1 << bit);
+            let bit: u32 = rng.random_range(0..16);
+            let corrupted = data ^ (1u32 << bit);
             let (word, s, dbl) = drive1908(&c, corrupted, checks, pall, true, true);
             assert_eq!(word, data, "bit {bit}");
             assert!(s, "single-error flag");
@@ -447,12 +447,12 @@ mod tests {
         for _ in 0..15 {
             let data = rng.random::<u32>() & 0xFFFF;
             let (checks, pall) = encode16(data);
-            let b1 = rng.random_range(0..16);
-            let mut b2 = rng.random_range(0..16);
+            let b1: u32 = rng.random_range(0..16);
+            let mut b2: u32 = rng.random_range(0..16);
             while b2 == b1 {
                 b2 = rng.random_range(0..16);
             }
-            let corrupted = data ^ (1 << b1) ^ (1 << b2);
+            let corrupted = data ^ (1u32 << b1) ^ (1u32 << b2);
             let (word, s, dbl) = drive1908(&c, corrupted, checks, pall, true, true);
             assert!(dbl, "double-error flag for bits {b1},{b2}");
             assert!(!s);

@@ -33,7 +33,9 @@ impl Tern {
         self != Tern::X
     }
 
-    /// Ternary negation.
+    /// Ternary negation. Not the `std::ops::Not` trait: `Tern` is `Copy`
+    /// and call sites read better with an inherent method.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tern {
         match self {
             Tern::Zero => Tern::One,

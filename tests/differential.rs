@@ -1,0 +1,151 @@
+//! Differential test layer: Difference Propagation vs brute-force truth.
+//!
+//! For c17, the full adder and c95, and for both fault models (checkpoint
+//! stuck-at faults and AND/OR NFBFs), DP's exact `test_count` and
+//! per-output observability sets must equal, fault by fault, a ground truth
+//! computed by scalar exhaustive simulation of every input vector. The
+//! scalar simulator shares no code with the engine's BDD path (and is
+//! cross-checked here against the bit-parallel `exhaustive_detectability`),
+//! so agreement pins the whole DP pipeline — good functions, Table-1
+//! propagation, counting — to an independent oracle.
+
+use diffprop::core::{analyze_universe, EngineConfig, Parallelism};
+use diffprop::faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
+use diffprop::netlist::generators::{c17, c95, full_adder};
+use diffprop::netlist::Circuit;
+use diffprop::sim::{exhaustive_detectability, faulty_outputs};
+
+/// Per-fault brute-force truth: exact detecting-vector count and the set of
+/// outputs where the fault is ever visible.
+struct GroundTruth {
+    count: u128,
+    observable: Vec<bool>,
+}
+
+/// Good outputs for every input vector, indexed by the vector's bit pattern.
+fn good_output_table(circuit: &Circuit) -> Vec<Vec<bool>> {
+    let n = circuit.num_inputs();
+    (0..1u64 << n)
+        .map(|bits| circuit.eval(&to_vector(bits, n)))
+        .collect()
+}
+
+fn to_vector(bits: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| bits >> i & 1 == 1).collect()
+}
+
+fn ground_truth(circuit: &Circuit, fault: &Fault, good: &[Vec<bool>]) -> GroundTruth {
+    let n = circuit.num_inputs();
+    let mut count = 0u128;
+    let mut observable = vec![false; circuit.num_outputs()];
+    for bits in 0..1u64 << n {
+        let bad = faulty_outputs(circuit, fault, &to_vector(bits, n));
+        let mut any = false;
+        for (k, flag) in observable.iter_mut().enumerate() {
+            if good[bits as usize][k] != bad[k] {
+                *flag = true;
+                any = true;
+            }
+        }
+        if any {
+            count += 1;
+        }
+    }
+    GroundTruth { count, observable }
+}
+
+/// Runs the sweep and checks every fault against the oracle.
+fn check_universe(circuit: &Circuit, faults: &[Fault]) {
+    assert!(!faults.is_empty(), "empty universe on {}", circuit.name());
+    let n = circuit.num_inputs();
+    let total = 1u128 << n;
+    let good = good_output_table(circuit);
+    let sweep = analyze_universe(circuit, faults, EngineConfig::default(), Parallelism::Serial);
+    for (fault, summary) in faults.iter().zip(&sweep.summaries) {
+        let truth = ground_truth(circuit, fault, &good);
+        assert_eq!(
+            summary.test_count,
+            Some(truth.count),
+            "test_count for {fault} on {}",
+            circuit.name()
+        );
+        assert_eq!(
+            summary.observable_outputs, truth.observable,
+            "observable outputs for {fault} on {}",
+            circuit.name()
+        );
+        // count / 2^n is exact in f64 for these sizes, so demand bit equality.
+        assert_eq!(
+            summary.detectability.to_bits(),
+            (truth.count as f64 / total as f64).to_bits(),
+            "detectability for {fault} on {}",
+            circuit.name()
+        );
+        // The two independent simulators must also agree with each other.
+        let (det, tot) = exhaustive_detectability(circuit, fault);
+        assert_eq!(det as u128, truth.count, "simulators disagree on {fault}");
+        assert_eq!(tot as u128, total);
+        if matches!(fault, Fault::StuckAt(_)) {
+            assert!(summary.site_function_constant, "{fault} site not constant");
+        }
+    }
+}
+
+fn stuck_at_universe(circuit: &Circuit) -> Vec<Fault> {
+    checkpoint_faults(circuit)
+        .into_iter()
+        .map(Fault::from)
+        .collect()
+}
+
+fn bridging_universe(circuit: &Circuit, cap: usize) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for kind in [BridgeKind::And, BridgeKind::Or] {
+        // Deterministic enumeration order makes the capped slice stable.
+        faults.extend(
+            enumerate_nfbfs(circuit, kind)
+                .into_iter()
+                .take(cap)
+                .map(Fault::from),
+        );
+    }
+    faults
+}
+
+#[test]
+fn c17_stuck_at_matches_exhaustive() {
+    let c = c17();
+    check_universe(&c, &stuck_at_universe(&c));
+}
+
+#[test]
+fn c17_bridging_matches_exhaustive() {
+    let c = c17();
+    check_universe(&c, &bridging_universe(&c, usize::MAX));
+}
+
+#[test]
+fn full_adder_stuck_at_matches_exhaustive() {
+    let c = full_adder();
+    check_universe(&c, &stuck_at_universe(&c));
+}
+
+#[test]
+fn full_adder_bridging_matches_exhaustive() {
+    let c = full_adder();
+    check_universe(&c, &bridging_universe(&c, usize::MAX));
+}
+
+#[test]
+fn c95_stuck_at_matches_exhaustive() {
+    let c = c95();
+    check_universe(&c, &stuck_at_universe(&c));
+}
+
+#[test]
+fn c95_bridging_matches_exhaustive() {
+    let c = c95();
+    // c95's NFBF sets are large; a deterministic 120-per-kind slice keeps
+    // the oracle (512 vectors x scalar resimulation per fault) affordable.
+    check_universe(&c, &bridging_universe(&c, 120));
+}

@@ -1,0 +1,140 @@
+//! Property tests for the sharded sweep driver and the manager counters.
+//!
+//! On random circuits, `analyze_universe` must return **byte-identical**
+//! per-fault summaries for `Serial` and `Threads(n)`, n ∈ {1, 2, 4} — f64
+//! fields compared via `to_bits`, not tolerance. The per-shard
+//! `ManagerStats` must also be internally consistent: independently
+//! incremented hit/miss/lookup counters that sum up, and a peak node count
+//! that brackets what the unique table ever created.
+
+use diffprop::bdd::OpKind;
+use diffprop::core::{analyze_universe, DiffProp, EngineConfig, Parallelism, SweepResult};
+use diffprop::faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
+use diffprop::netlist::generators::{random_circuit, RandomCircuitConfig};
+use diffprop::netlist::Circuit;
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (any::<u64>(), (2usize..=6, 4usize..=20, 2usize..=4)).prop_map(
+        |(seed, (inputs, gates, max_fanin))| {
+            (
+                seed,
+                RandomCircuitConfig {
+                    inputs,
+                    gates,
+                    max_fanin,
+                },
+            )
+        },
+    )
+}
+
+/// Both fault models, deterministically capped.
+fn mixed_universe(circuit: &Circuit) -> Vec<Fault> {
+    let mut faults: Vec<Fault> = checkpoint_faults(circuit)
+        .into_iter()
+        .map(Fault::from)
+        .collect();
+    for kind in [BridgeKind::And, BridgeKind::Or] {
+        faults.extend(
+            enumerate_nfbfs(circuit, kind)
+                .into_iter()
+                .take(15)
+                .map(Fault::from),
+        );
+    }
+    faults
+}
+
+fn assert_stats_consistent(sweep: &SweepResult) {
+    for report in &sweep.shards {
+        let s = &report.stats;
+        assert_eq!(
+            s.unique.hits + s.unique.misses,
+            s.unique.lookups,
+            "unique counters of shard {}",
+            report.shard
+        );
+        for kind in OpKind::ALL {
+            let c = s[kind];
+            assert_eq!(
+                c.hits + c.misses,
+                c.lookups,
+                "{kind:?} counters of shard {}",
+                report.shard
+            );
+        }
+        let total = s.op_total();
+        assert_eq!(total.hits + total.misses, total.lookups);
+        // Every unique-table miss allocates exactly one node and nothing
+        // else does, so with the two terminals the peak is bracketed by the
+        // total ever allocated — and equals it while no gc has compacted.
+        assert!(s.peak_nodes >= 2, "peak below the terminals");
+        assert!(s.peak_nodes as u64 <= 2 + s.unique.misses);
+        if s.gc_runs == 0 {
+            assert_eq!(s.peak_nodes as u64, 2 + s.unique.misses);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sharded_sweeps_are_byte_identical((seed, cfg) in config_strategy()) {
+        let circuit = random_circuit(seed, cfg);
+        let faults = mixed_universe(&circuit);
+        let config = EngineConfig::default();
+        let serial = analyze_universe(&circuit, &faults, config, Parallelism::Serial);
+        prop_assert_eq!(serial.summaries.len(), faults.len());
+        assert_stats_consistent(&serial);
+        for n in [1usize, 2, 4] {
+            let sharded = analyze_universe(&circuit, &faults, config, Parallelism::Threads(n));
+            prop_assert_eq!(sharded.summaries.len(), faults.len(), "threads={}", n);
+            for (s, t) in serial.summaries.iter().zip(&sharded.summaries) {
+                prop_assert_eq!(s.fault, t.fault, "threads={}", n);
+                prop_assert_eq!(
+                    s.detectability.to_bits(),
+                    t.detectability.to_bits(),
+                    "detectability of {} at threads={}", s.fault, n
+                );
+                prop_assert_eq!(s.test_count, t.test_count, "threads={}", n);
+                prop_assert_eq!(
+                    &s.observable_outputs,
+                    &t.observable_outputs,
+                    "threads={}", n
+                );
+                prop_assert_eq!(s.site_function_constant, t.site_function_constant);
+                prop_assert_eq!(
+                    s.adherence.map(f64::to_bits),
+                    t.adherence.map(f64::to_bits),
+                    "adherence of {} at threads={}", s.fault, n
+                );
+            }
+            // Shards partition the universe without loss.
+            prop_assert_eq!(
+                sharded.shards.iter().map(|r| r.faults).sum::<usize>(),
+                faults.len()
+            );
+            assert_stats_consistent(&sharded);
+        }
+    }
+
+    #[test]
+    fn engine_manager_stats_stay_consistent((seed, cfg) in config_strategy()) {
+        let circuit = random_circuit(seed, cfg);
+        let mut dp = DiffProp::new(&circuit);
+        for fault in mixed_universe(&circuit).into_iter().take(10) {
+            let _ = dp.analyze(&fault);
+        }
+        let manager = dp.good().manager();
+        let s = manager.stats();
+        prop_assert_eq!(s.unique.hits + s.unique.misses, s.unique.lookups);
+        for kind in OpKind::ALL {
+            let c = s[kind];
+            prop_assert_eq!(c.hits + c.misses, c.lookups);
+        }
+        // The live node table can never exceed the recorded peak.
+        prop_assert!(s.peak_nodes >= manager.num_nodes());
+    }
+}
