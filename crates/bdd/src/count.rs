@@ -37,6 +37,10 @@ impl Manager {
 
     /// Counts assignments of the variables at levels `level..n` that satisfy
     /// the subfunction rooted at `f` (whose top level is ≥ `level`).
+    ///
+    /// The memo is keyed on *regular* edges: a complemented edge counts as
+    /// the complement of its node's count (`2^(n-flevel) - c`), which is
+    /// exact in integers, so `f` and `¬f` share every memo entry.
     fn count_below(
         &self,
         f: NodeId,
@@ -52,15 +56,23 @@ impl Manager {
             } else {
                 0
             }
-        } else if let Some(&c) = memo.get(&f) {
-            c
         } else {
-            let next = self.node_level(f) + 1;
-            let lo = self.count_below(self.node_lo(f), next, n, memo);
-            let hi = self.count_below(self.node_hi(f), next, n, memo);
-            let c = lo + hi;
-            memo.insert(f, c);
-            c
+            let reg = f.regular();
+            let c = if let Some(&c) = memo.get(&reg) {
+                c
+            } else {
+                let next = self.node_level(reg) + 1;
+                let lo = self.count_below(self.node_lo(reg), next, n, memo);
+                let hi = self.count_below(self.node_hi(reg), next, n, memo);
+                let c = lo + hi;
+                memo.insert(reg, c);
+                c
+            };
+            if f.is_complemented() {
+                (1u128 << (n - flevel)) - c
+            } else {
+                c
+            }
         };
         base << free
     }
@@ -87,6 +99,12 @@ impl Manager {
         self.density_rec(f, &mut memo)
     }
 
+    /// The memo here is deliberately keyed on full edges (complement bit
+    /// included), *not* on regular edges with a `1.0 - d` complement rule:
+    /// the child accessors fold complements, so this recursion performs the
+    /// exact same floating-point operations on `f`'s virtual ROBDD as the
+    /// pre-complement-edge implementation did — bit-identical results for
+    /// any variable count, not just the dyadic-exact small circuits.
     fn density_rec(&self, f: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
         if f.is_terminal() {
             return if f.is_true() { 1.0 } else { 0.0 };

@@ -1,4 +1,28 @@
 //! The BDD manager: node storage, unique table, and variable ordering.
+//!
+//! # Complement edges
+//!
+//! Since the complement-edge refactor the manager stores **attributed
+//! negation** in the edges instead of materialising `¬f` as a second DAG:
+//! bit 0 of a [`NodeId`] is a complement flag and the remaining bits index
+//! the node table. There is a single terminal node (slot 0, the constant
+//! `1`); `⊥` is its complemented edge. Canonicity is preserved by the
+//! classical rule (Brace/Rudell/Bryant): **a node's *then* (hi) edge is
+//! never complemented**. `mk` normalises — if the requested hi edge is
+//! complemented, the node is stored with both children flipped and a
+//! complemented edge to it is returned. Consequences:
+//!
+//! * negation is O(1) (flip bit 0) and allocates nothing,
+//! * `f` and `¬f` share every node, roughly halving unique-table pressure
+//!   on the negation-heavy Table-1 forms,
+//! * structural equality is still functional equality: two edges are equal
+//!   iff they denote the same function.
+//!
+//! The child accessors [`Manager::node_lo`]/[`Manager::node_hi`] fold the
+//! parent edge's complement bit into the returned edge, so for every
+//! non-terminal edge `n` the Shannon identity
+//! `F(n) = ite(var, F(node_hi(n)), F(node_lo(n)))` holds verbatim and
+//! generic traversals stay correct without knowing about complements.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -14,21 +38,28 @@ use crate::stats::ManagerStats;
 /// manager the order is the identity (variable `i` sits at level `i`).
 pub type Var = u32;
 
-/// A handle to a BDD node inside a [`Manager`].
+/// A handle to a BDD node inside a [`Manager`] — an *edge*: a node-table
+/// index plus a complement flag (bit 0).
 ///
 /// Node ids are only meaningful relative to the manager that produced them.
-/// Because the unique table hash-conses nodes, two equal `NodeId`s from the
-/// same manager always denote the same Boolean function, and conversely.
+/// Because the unique table hash-conses nodes and the canonical form keeps
+/// hi edges regular, two equal `NodeId`s from the same manager always denote
+/// the same Boolean function, and conversely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(pub(crate) u32);
 
 impl NodeId {
-    /// The constant-false terminal.
-    pub const FALSE: NodeId = NodeId(0);
-    /// The constant-true terminal.
-    pub const TRUE: NodeId = NodeId(1);
+    /// The constant-true terminal: a regular edge to the terminal node.
+    pub const TRUE: NodeId = NodeId(0);
+    /// The constant-false terminal: the complemented edge to the same node.
+    pub const FALSE: NodeId = NodeId(1);
 
-    /// Returns `true` if this is one of the two terminal nodes.
+    /// Packs a node-table index into a regular (uncomplemented) edge.
+    pub(crate) fn from_index(index: usize) -> NodeId {
+        NodeId((index as u32) << 1)
+    }
+
+    /// Returns `true` if this edge points at the terminal node.
     pub fn is_terminal(self) -> bool {
         self.0 <= 1
     }
@@ -43,9 +74,28 @@ impl NodeId {
         self == Self::TRUE
     }
 
-    /// Raw index into the manager's node table (mostly useful for debugging).
+    /// Returns `true` if the edge carries the complement attribute.
+    ///
+    /// `FALSE` is the complemented edge to the terminal, so
+    /// `NodeId::FALSE.is_complemented()` is `true`.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The same edge with the complement attribute flipped: `¬f` in O(1).
+    pub fn complemented(self) -> NodeId {
+        NodeId(self.0 ^ 1)
+    }
+
+    /// The regular (uncomplemented) edge to the same node.
+    pub fn regular(self) -> NodeId {
+        NodeId(self.0 & !1)
+    }
+
+    /// Raw index into the manager's node table (mostly useful for debugging
+    /// and structural bookkeeping; ignores the complement flag).
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 >> 1) as usize
     }
 }
 
@@ -54,12 +104,16 @@ impl fmt::Display for NodeId {
         match *self {
             NodeId::FALSE => write!(f, "⊥"),
             NodeId::TRUE => write!(f, "⊤"),
-            NodeId(i) => write!(f, "n{i}"),
+            n if n.is_complemented() => write!(f, "¬n{}", n.index()),
+            n => write!(f, "n{}", n.index()),
         }
     }
 }
 
 /// An internal decision node: `if var then hi else lo`.
+///
+/// Invariant (checked by [`Manager::assert_canonical`]): `hi` is never
+/// complemented; `lo` may be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) struct Node {
     pub var: Var,
@@ -119,9 +173,8 @@ impl Manager {
             level_to_var: (0..num_vars as u32).collect(),
             stats: ManagerStats::default(),
         };
-        // Slots 0 and 1 are the terminals; their stored fields are never read
-        // through the usual paths but keep indices aligned.
-        m.nodes.push(Node { var: u32::MAX, lo: NodeId::FALSE, hi: NodeId::FALSE });
+        // Slot 0 is the single terminal (constant 1); its stored fields are
+        // never read through the usual paths but keep indices aligned.
         m.nodes.push(Node { var: u32::MAX, lo: NodeId::TRUE, hi: NodeId::TRUE });
         m.stats.peak_nodes = m.nodes.len();
         m
@@ -156,7 +209,7 @@ impl Manager {
         self.var_to_level.len()
     }
 
-    /// Total number of nodes currently allocated (including both terminals).
+    /// Total number of nodes currently allocated (including the terminal).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
     }
@@ -196,7 +249,7 @@ impl Manager {
         self.var_to_level[v as usize] = level + 1;
     }
 
-    /// Level of a node: terminals sit below all variables.
+    /// Level of an edge's node: terminals sit below all variables.
     pub(crate) fn node_level(&self, n: NodeId) -> u32 {
         if n.is_terminal() {
             TERMINAL_LEVEL
@@ -215,24 +268,37 @@ impl Manager {
         self.nodes[n.index()].var
     }
 
-    /// The else-child (`var = 0` cofactor) of an internal node.
+    /// The else-cofactor (`var = 0`) **of the function `n` denotes**: the
+    /// stored lo edge with `n`'s complement attribute folded in.
     ///
     /// # Panics
     ///
     /// Panics if `n` is a terminal.
     pub fn node_lo(&self, n: NodeId) -> NodeId {
         assert!(!n.is_terminal(), "terminals have no children");
-        self.nodes[n.index()].lo
+        let lo = self.nodes[n.index()].lo;
+        if n.is_complemented() {
+            lo.complemented()
+        } else {
+            lo
+        }
     }
 
-    /// The then-child (`var = 1` cofactor) of an internal node.
+    /// The then-cofactor (`var = 1`) **of the function `n` denotes**: the
+    /// stored hi edge (always regular) with `n`'s complement attribute
+    /// folded in.
     ///
     /// # Panics
     ///
     /// Panics if `n` is a terminal.
     pub fn node_hi(&self, n: NodeId) -> NodeId {
         assert!(!n.is_terminal(), "terminals have no children");
-        self.nodes[n.index()].hi
+        let hi = self.nodes[n.index()].hi;
+        if n.is_complemented() {
+            hi.complemented()
+        } else {
+            hi
+        }
     }
 
     /// Returns the constant `true` or `false` function.
@@ -254,7 +320,8 @@ impl Manager {
         self.mk(v, NodeId::FALSE, NodeId::TRUE)
     }
 
-    /// Returns the negated single-variable function `¬v`.
+    /// Returns the negated single-variable function `¬v` (the complemented
+    /// edge to the same node [`Manager::var`] returns).
     ///
     /// # Panics
     ///
@@ -264,23 +331,37 @@ impl Manager {
         self.mk(v, NodeId::TRUE, NodeId::FALSE)
     }
 
-    /// The `mk` operation: returns the canonical node `(var, lo, hi)`,
-    /// applying the reduction rule `lo == hi ⇒ lo` and hash-consing.
+    /// The `mk` operation: returns the canonical edge for `(var, lo, hi)`,
+    /// applying the reduction rule `lo == hi ⇒ lo`, the complement-edge
+    /// normalisation (hi must be regular: if it is not, both children are
+    /// flipped and the returned edge is complemented), and hash-consing.
     pub(crate) fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
         if lo == hi {
             return lo;
         }
+        let flip = hi.is_complemented();
+        let (lo, hi) = if flip {
+            (lo.complemented(), hi.complemented())
+        } else {
+            (lo, hi)
+        };
         let node = Node { var, lo, hi };
-        if let Some(&id) = self.unique.get(&node) {
+        let id = if let Some(&id) = self.unique.get(&node) {
             self.stats.unique.hit();
-            return id;
+            id
+        } else {
+            self.stats.unique.miss();
+            let id = NodeId::from_index(self.nodes.len());
+            self.nodes.push(node);
+            self.unique.insert(node, id);
+            self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len());
+            id
+        };
+        if flip {
+            id.complemented()
+        } else {
+            id
         }
-        self.stats.unique.miss();
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(node);
-        self.unique.insert(node, id);
-        self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len());
-        id
     }
 
     /// Evaluates the function under a complete assignment
@@ -303,21 +384,27 @@ impl Manager {
     /// ```
     pub fn eval(&self, mut n: NodeId, assignment: &[bool]) -> bool {
         assert!(assignment.len() >= self.num_vars(), "assignment too short");
+        // Complement parity accumulated along the path; the raw children are
+        // followed so each edge's attribute is folded in exactly once.
+        let mut parity = false;
         while !n.is_terminal() {
+            parity ^= n.is_complemented();
             let node = self.nodes[n.index()];
             n = if assignment[node.var as usize] { node.hi } else { node.lo };
         }
-        n.is_true()
+        n.is_true() ^ parity
     }
 
-    /// Number of internal nodes reachable from `n` (terminals excluded).
+    /// Number of internal nodes reachable from `n` (the terminal excluded).
     ///
-    /// This is the classical "BDD size" measure.
+    /// This is the classical "BDD size" measure. With complement edges the
+    /// size is structural: `f` and `¬f` share every node, so
+    /// `size(f) == size(not(f))`.
     pub fn size(&self, n: NodeId) -> usize {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![n];
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x) {
+            if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
             let node = self.nodes[x.index()];
@@ -345,7 +432,7 @@ impl Manager {
         let mut seen = std::collections::HashSet::new();
         let mut stack = vec![n];
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x) {
+            if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
             let node = self.nodes[x.index()];
@@ -386,9 +473,54 @@ impl Manager {
         self.stats.reset_op_counters();
     }
 
+    /// Checks the complement-edge canonical form over the whole node table
+    /// (debug/test aid):
+    ///
+    /// * no stored hi edge is complemented,
+    /// * no node has `lo == hi`,
+    /// * children sit at strictly deeper levels than their parent,
+    /// * the unique table maps exactly the stored nodes to regular edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violation found.
+    pub fn assert_canonical(&self) {
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            assert!(
+                !node.hi.is_complemented(),
+                "node {i}: hi edge {} is complemented",
+                node.hi
+            );
+            assert_ne!(node.lo, node.hi, "node {i}: redundant (lo == hi)");
+            let level = self.var_to_level[node.var as usize];
+            for child in [node.lo, node.hi] {
+                assert!(
+                    self.node_level(child) > level,
+                    "node {i}: child {child} at level ≤ parent"
+                );
+            }
+            let id = self
+                .unique
+                .get(node)
+                .unwrap_or_else(|| panic!("node {i} missing from the unique table"));
+            assert_eq!(
+                id.index(),
+                i,
+                "unique table maps node {i} to a different slot"
+            );
+            assert!(!id.is_complemented(), "unique table stores a complemented edge");
+        }
+        assert_eq!(
+            self.unique.len(),
+            self.nodes.len() - 1,
+            "unique table size disagrees with the node table"
+        );
+    }
+
     /// Garbage-collects every node not reachable from `roots`, compacting the
     /// node table. Returns the remapping from old to new ids; apply it to any
-    /// retained handles via [`Remap::map`].
+    /// retained handles via [`Remap::map`] (complement attributes are
+    /// preserved across the move).
     ///
     /// The operation cache is invalidated, and the op-cache counters in
     /// [`Manager::stats`] are reset with it (a collection starts a cold cache
@@ -409,42 +541,46 @@ impl Manager {
     /// assert_eq!(m.sat_count(keep), 1);
     /// ```
     pub fn gc(&mut self, roots: &[NodeId]) -> Remap {
-        // Post-order placement: children are compacted before their parents
-        // regardless of slot order (in-place reordering can leave parents at
-        // lower indices than their children).
-        let mut map = vec![NodeId::FALSE; self.nodes.len()];
-        let mut placed = vec![false; self.nodes.len()];
-        let mut new_nodes = vec![self.nodes[0], self.nodes[1]];
-        map[0] = NodeId::FALSE;
-        map[1] = NodeId::TRUE;
-        placed[0] = true;
-        placed[1] = true;
-        let mut stack: Vec<(NodeId, bool)> = roots.iter().map(|&r| (r, false)).collect();
-        while let Some((x, expanded)) = stack.pop() {
-            if placed[x.index()] {
+        // Post-order placement over node *indices*: children are compacted
+        // before their parents regardless of slot order. Complement bits
+        // live on edges, so the index graph is what gets walked.
+        const UNPLACED: u32 = u32::MAX;
+        let mut map = vec![UNPLACED; self.nodes.len()];
+        let mut new_nodes = vec![self.nodes[0]];
+        map[0] = 0;
+        let mut stack: Vec<(usize, bool)> =
+            roots.iter().map(|&r| (r.index(), false)).collect();
+        while let Some((i, expanded)) = stack.pop() {
+            if map[i] != UNPLACED {
                 continue;
             }
-            let node = self.nodes[x.index()];
+            let node = self.nodes[i];
             if expanded {
+                let remap_edge = |e: NodeId, map: &[u32]| -> NodeId {
+                    let idx = NodeId::from_index(map[e.index()] as usize);
+                    if e.is_complemented() {
+                        idx.complemented()
+                    } else {
+                        idx
+                    }
+                };
                 let remapped = Node {
                     var: node.var,
-                    lo: map[node.lo.index()],
-                    hi: map[node.hi.index()],
+                    lo: remap_edge(node.lo, &map),
+                    hi: remap_edge(node.hi, &map),
                 };
-                let id = NodeId(new_nodes.len() as u32);
+                map[i] = new_nodes.len() as u32;
                 new_nodes.push(remapped);
-                map[x.index()] = id;
-                placed[x.index()] = true;
             } else {
-                stack.push((x, true));
-                stack.push((node.lo, false));
-                stack.push((node.hi, false));
+                stack.push((i, true));
+                stack.push((node.lo.index(), false));
+                stack.push((node.hi.index(), false));
             }
         }
         self.nodes = new_nodes;
         self.unique.clear();
-        for (i, node) in self.nodes.iter().enumerate().skip(2) {
-            self.unique.insert(*node, NodeId(i as u32));
+        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+            self.unique.insert(*node, NodeId::from_index(i));
         }
         self.op_cache.clear();
         self.stats.reset_op_counters();
@@ -453,28 +589,43 @@ impl Manager {
     }
 
     /// Emits the graph rooted at `n` in Graphviz `dot` syntax (debug aid).
+    ///
+    /// Edge styling: then (hi) edges are solid, else (lo) edges are dotted,
+    /// and **complement arcs are dashed** (a dashed else edge is a
+    /// complemented else edge; a dashed entry arc marks a complemented
+    /// root). The hi-edge-regular canonical form guarantees no then edge
+    /// ever needs the dashed style.
     pub fn to_dot(&self, n: NodeId, name: &str) -> String {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(out, "digraph \"{name}\" {{");
-        let _ = writeln!(out, "  t0 [label=\"0\", shape=box];");
         let _ = writeln!(out, "  t1 [label=\"1\", shape=box];");
-        let mut seen = std::collections::HashSet::new();
-        let mut stack = vec![n];
         let label = |x: NodeId| -> String {
-            match x {
-                NodeId::FALSE => "t0".to_string(),
-                NodeId::TRUE => "t1".to_string(),
-                NodeId(i) => format!("n{i}"),
+            if x.is_terminal() {
+                "t1".to_string()
+            } else {
+                format!("n{}", x.index())
             }
         };
+        // Entry arc: dashed when the root edge itself is complemented.
+        let _ = writeln!(out, "  f [label=\"{name}\", shape=plaintext];");
+        let root_style = if n.is_complemented() { " [style=dashed]" } else { "" };
+        let _ = writeln!(out, "  f -> {}{root_style};", label(n));
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![n];
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x) {
+            if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
             let node = self.nodes[x.index()];
             let _ = writeln!(out, "  {} [label=\"x{}\"];", label(x), node.var);
-            let _ = writeln!(out, "  {} -> {} [style=dashed];", label(x), label(node.lo));
+            let lo_style = if node.lo.is_complemented() { "dashed" } else { "dotted" };
+            let _ = writeln!(
+                out,
+                "  {} -> {} [style={lo_style}];",
+                label(x),
+                label(node.lo)
+            );
             let _ = writeln!(out, "  {} -> {};", label(x), label(node.hi));
             stack.push(node.lo);
             stack.push(node.hi);
@@ -487,11 +638,13 @@ impl Manager {
 /// The old-id → new-id mapping produced by [`Manager::gc`].
 #[derive(Debug, Clone)]
 pub struct Remap {
-    map: Vec<NodeId>,
+    /// `map[old_index]` is the new index, or `u32::MAX` if collected.
+    map: Vec<u32>,
 }
 
 impl Remap {
-    /// Translates a pre-collection handle into its post-collection handle.
+    /// Translates a pre-collection handle into its post-collection handle,
+    /// preserving the complement attribute.
     ///
     /// # Panics
     ///
@@ -500,10 +653,15 @@ impl Remap {
     pub fn map(&self, old: NodeId) -> NodeId {
         let new = self.map[old.index()];
         assert!(
-            old.is_terminal() || new != NodeId::FALSE,
+            new != u32::MAX,
             "node {old} was collected; include it in the gc roots"
         );
-        new
+        let id = NodeId::from_index(new as usize);
+        if old.is_complemented() {
+            id.complemented()
+        } else {
+            id
+        }
     }
 }
 
@@ -518,7 +676,8 @@ mod tests {
         assert!(NodeId::TRUE.is_terminal());
         assert_eq!(m.constant(false), NodeId::FALSE);
         assert_eq!(m.constant(true), NodeId::TRUE);
-        assert_eq!(m.num_nodes(), 2);
+        assert_eq!(NodeId::FALSE, NodeId::TRUE.complemented());
+        assert_eq!(m.num_nodes(), 1); // one shared terminal node
     }
 
     #[test]
@@ -527,7 +686,18 @@ mod tests {
         let a1 = m.var(0);
         let a2 = m.var(0);
         assert_eq!(a1, a2);
-        assert_eq!(m.num_nodes(), 3);
+        assert_eq!(m.num_nodes(), 2);
+    }
+
+    #[test]
+    fn nvar_is_complement_edge_to_var() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let na = m.nvar(0);
+        assert_eq!(na, a.complemented());
+        assert_eq!(na.index(), a.index(), "¬a shares a's node");
+        assert_eq!(m.num_nodes(), 2, "no extra node for the negation");
+        m.assert_canonical();
     }
 
     #[test]
@@ -535,6 +705,18 @@ mod tests {
         let mut m = Manager::new(2);
         let t = NodeId::TRUE;
         assert_eq!(m.mk(0, t, t), t);
+    }
+
+    #[test]
+    fn mk_normalises_complemented_hi() {
+        let mut m = Manager::new(2);
+        // (0, ⊤, ⊥) has a complemented hi; the canonical result is the
+        // complemented edge to (0, ⊥, ⊤).
+        let n = m.mk(0, NodeId::TRUE, NodeId::FALSE);
+        assert!(n.is_complemented());
+        let a = m.mk(0, NodeId::FALSE, NodeId::TRUE);
+        assert_eq!(n, a.complemented());
+        m.assert_canonical();
     }
 
     #[test]
@@ -572,6 +754,8 @@ mod tests {
         let f = m.or(b, d);
         assert_eq!(m.support(f), vec![1, 3]);
         assert!(m.support(NodeId::TRUE).is_empty());
+        let nf = m.not(f);
+        assert_eq!(m.support(nf), vec![1, 3]);
     }
 
     #[test]
@@ -580,8 +764,25 @@ mod tests {
         let a = m.var(0);
         let b = m.var(1);
         let f = m.xor(a, b);
-        assert_eq!(m.size(f), 3); // root + two nodes on var 1
+        // With complement edges b and ¬b share one node: root + one var-1
+        // node instead of the thick three-node XOR.
+        assert_eq!(m.size(f), 2);
         assert_eq!(m.size(NodeId::TRUE), 0);
+        let nf = m.not(f);
+        assert_eq!(m.size(nf), m.size(f));
+    }
+
+    #[test]
+    fn node_accessors_fold_the_complement() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        // F(nf) = ite(var, F(node_hi(nf)), F(node_lo(nf))) must hold.
+        assert_eq!(m.node_var(nf), m.node_var(f));
+        assert_eq!(m.node_lo(nf), m.node_lo(f).complemented());
+        assert_eq!(m.node_hi(nf), m.node_hi(f).complemented());
     }
 
     #[test]
@@ -598,6 +799,22 @@ mod tests {
         let keep2 = remap.map(keep);
         assert!(m.num_nodes() < before);
         assert_eq!(m.sat_count(keep2), 2); // a·b over 3 vars = 2 minterms
+        m.assert_canonical();
+    }
+
+    #[test]
+    fn gc_preserves_complement_attributes() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let ab = m.and(a, b);
+        let nab = m.not(ab);
+        let count = m.sat_count(nab);
+        let remap = m.gc(&[nab]);
+        let nab2 = remap.map(nab);
+        assert!(nab2.is_complemented() == nab.is_complemented());
+        assert_eq!(m.sat_count(nab2), count);
+        m.assert_canonical();
     }
 
     #[test]
@@ -620,5 +837,15 @@ mod tests {
         let dot = m.to_dot(f, "f");
         assert!(dot.contains("x0"));
         assert!(dot.contains("x1"));
+    }
+
+    #[test]
+    fn to_dot_marks_complement_arcs_dashed() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.nand(a, b); // complemented root edge
+        let dot = m.to_dot(f, "nand");
+        assert!(dot.contains("style=dashed"), "complement arc not dashed");
     }
 }

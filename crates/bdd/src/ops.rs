@@ -1,6 +1,21 @@
 //! Boolean operations: `apply`, negation, `ite`, cofactors and quantifiers.
+//!
+//! With complement edges every binary connective is a thin wrapper over a
+//! single memoised [`Manager::ite`] recursion:
+//!
+//! * `a ∧ b = ite(a, b, ⊥)`
+//! * `a ∨ b = ite(a, ⊤, b)`
+//! * `a ⊕ b = ite(a, ¬b, b)`
+//!
+//! Before probing the cache, the triple is rewritten into the Brace/Rudell/
+//! Bryant **standard form** (operand ordering for the commutative shapes
+//! plus two complement rules: the first argument and the then-branch are
+//! always regular). Semantically equal calls that arrive spelled
+//! differently — `a∧b` vs `b∧a` vs `¬(¬a ∨ ¬b)` — therefore normalise to
+//! the *same* cache key and share one slot, which is where the cache-hit
+//! improvement of this representation comes from.
 
-use crate::manager::{Manager, NodeId, Var, TERMINAL_LEVEL};
+use crate::manager::{Manager, NodeId, Var};
 use crate::stats::OpKind;
 
 /// A binary Boolean connective accepted by [`Manager::apply`].
@@ -29,12 +44,11 @@ impl BinOp {
     }
 }
 
-/// Key for the memoisation cache. Binary ops canonicalise operand order for
-/// commutative connectives so `a∧b` and `b∧a` share an entry.
+/// Key for the memoisation cache. All binary connectives funnel into
+/// standard-form `Ite` triples, so there is no per-connective key variant:
+/// the normalisation *is* the canonicalisation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum OpKey {
-    Bin(BinOp, NodeId, NodeId),
-    Not(NodeId),
     Ite(NodeId, NodeId, NodeId),
     Restrict(NodeId, Var, bool),
     Compose(NodeId, Var, NodeId),
@@ -43,27 +57,18 @@ pub(crate) enum OpKey {
 }
 
 impl Manager {
-    /// Shannon cofactor split at the top level of `a` and `b`.
-    fn top_split(&self, a: NodeId, b: NodeId) -> (Var, NodeId, NodeId, NodeId, NodeId) {
-        let la = self.node_level(a);
-        let lb = self.node_level(b);
-        debug_assert!(la != TERMINAL_LEVEL || lb != TERMINAL_LEVEL);
-        let level = la.min(lb);
-        let var = self.var_at_level(level);
-        let (a0, a1) = if la == level {
-            (self.node_lo(a), self.node_hi(a))
-        } else {
-            (a, a)
-        };
-        let (b0, b1) = if lb == level {
-            (self.node_lo(b), self.node_hi(b))
-        } else {
-            (b, b)
-        };
-        (var, a0, a1, b0, b1)
+    /// `¬a`: flips the complement attribute on the edge.
+    ///
+    /// O(1), no recursion, no allocation, no cache traffic — the `&self`
+    /// receiver is the type-level witness that negation cannot create nodes.
+    pub fn not(&self, a: NodeId) -> NodeId {
+        a.complemented()
     }
 
     /// Bryant's `apply`: combines two BDDs with a binary connective.
+    ///
+    /// Internally a standard-triple `ite` call; the cache probes it makes are
+    /// attributed to the connective's [`OpKind`] in [`Manager::stats`].
     ///
     /// # Examples
     ///
@@ -76,73 +81,11 @@ impl Manager {
     /// assert_eq!(m.sat_count(f), 2);
     /// ```
     pub fn apply(&mut self, op: BinOp, a: NodeId, b: NodeId) -> NodeId {
-        // Terminal rules.
         match op {
-            BinOp::And => {
-                if a.is_false() || b.is_false() {
-                    return NodeId::FALSE;
-                }
-                if a.is_true() {
-                    return b;
-                }
-                if b.is_true() {
-                    return a;
-                }
-                if a == b {
-                    return a;
-                }
-            }
-            BinOp::Or => {
-                if a.is_true() || b.is_true() {
-                    return NodeId::TRUE;
-                }
-                if a.is_false() {
-                    return b;
-                }
-                if b.is_false() {
-                    return a;
-                }
-                if a == b {
-                    return a;
-                }
-            }
-            BinOp::Xor => {
-                if a.is_false() {
-                    return b;
-                }
-                if b.is_false() {
-                    return a;
-                }
-                if a == b {
-                    return NodeId::FALSE;
-                }
-                if a.is_true() {
-                    return self.not(b);
-                }
-                if b.is_true() {
-                    return self.not(a);
-                }
-            }
+            BinOp::And => self.ite_with(a, b, NodeId::FALSE, OpKind::And),
+            BinOp::Or => self.ite_with(a, NodeId::TRUE, b, OpKind::Or),
+            BinOp::Xor => self.ite_with(a, b.complemented(), b, OpKind::Xor),
         }
-        // Commutative: canonicalise operand order for cache hits.
-        let (x, y) = if a <= b { (a, b) } else { (b, a) };
-        let kind = match op {
-            BinOp::And => OpKind::And,
-            BinOp::Or => OpKind::Or,
-            BinOp::Xor => OpKind::Xor,
-        };
-        let key = OpKey::Bin(op, x, y);
-        if let Some(&r) = self.op_cache.get(&key) {
-            self.stats[kind].hit();
-            return r;
-        }
-        self.stats[kind].miss();
-        let (var, a0, a1, b0, b1) = self.top_split(x, y);
-        let lo = self.apply(op, a0, b0);
-        let hi = self.apply(op, a1, b1);
-        let r = self.mk(var, lo, hi);
-        self.op_cache.insert(key, r);
-        r
     }
 
     /// `a ∧ b`. Shorthand for [`Manager::apply`] with [`BinOp::And`].
@@ -158,29 +101,6 @@ impl Manager {
     /// `a ⊕ b`. Shorthand for [`Manager::apply`] with [`BinOp::Xor`].
     pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
         self.apply(BinOp::Xor, a, b)
-    }
-
-    /// `¬a`.
-    pub fn not(&mut self, a: NodeId) -> NodeId {
-        if a.is_false() {
-            return NodeId::TRUE;
-        }
-        if a.is_true() {
-            return NodeId::FALSE;
-        }
-        let key = OpKey::Not(a);
-        if let Some(&r) = self.op_cache.get(&key) {
-            self.stats[OpKind::Not].hit();
-            return r;
-        }
-        self.stats[OpKind::Not].miss();
-        let var = self.node_var(a);
-        let (alo, ahi) = (self.node_lo(a), self.node_hi(a));
-        let lo = self.not(alo);
-        let hi = self.not(ahi);
-        let r = self.mk(var, lo, hi);
-        self.op_cache.insert(key, r);
-        r
     }
 
     /// `a ∧ ¬b` (material non-implication) — the shape of the bridging-fault
@@ -223,12 +143,43 @@ impl Manager {
     /// assert!(!m.eval(mux, &[false, true, false]));
     /// ```
     pub fn ite(&mut self, f: NodeId, g: NodeId, h: NodeId) -> NodeId {
+        self.ite_with(f, g, h, OpKind::Ite)
+    }
+
+    /// `true` if `b` is the canonical *first* operand of a commutative
+    /// triple: lower level wins, regular index breaks ties.
+    fn should_swap(&self, a: NodeId, b: NodeId) -> bool {
+        let la = self.node_level(a);
+        let lb = self.node_level(b);
+        lb < la || (la == lb && b.regular() < a.regular())
+    }
+
+    /// The shared `ite` recursion; `kind` attributes cache probes to the
+    /// connective the user actually called (the cache *entries* themselves
+    /// are connective-agnostic standard triples).
+    fn ite_with(&mut self, f: NodeId, g: NodeId, h: NodeId, kind: OpKind) -> NodeId {
+        // Constant selector.
         if f.is_true() {
             return g;
         }
         if f.is_false() {
             return h;
         }
+        // Branches that repeat (or negate) the selector collapse to constants:
+        // under f the then-branch sees f = 1, the else-branch f = 0.
+        let mut g = g;
+        let mut h = h;
+        if g == f {
+            g = NodeId::TRUE;
+        } else if g == f.complemented() {
+            g = NodeId::FALSE;
+        }
+        if h == f {
+            h = NodeId::FALSE;
+        } else if h == f.complemented() {
+            h = NodeId::TRUE;
+        }
+        // Trivial triples.
         if g == h {
             return g;
         }
@@ -236,34 +187,86 @@ impl Manager {
             return f;
         }
         if g.is_false() && h.is_true() {
-            return self.not(f);
+            return f.complemented();
+        }
+        // Standard-triple rewrites: each commutative shape picks a canonical
+        // operand order, so e.g. ite(a,1,b) (= a∨b) and ite(b,1,a) (= b∨a)
+        // meet at one key. The five shapes are mutually exclusive here —
+        // mixed-constant and equal-branch triples already returned above.
+        let mut f = f;
+        if g.is_true() {
+            // f ∨ h
+            if self.should_swap(f, h) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if g.is_false() {
+            // ¬f ∧ h  =  ¬(¬h) ∧ ¬(f)  →  ite(¬h, 0, ¬f)
+            if self.should_swap(f, h) {
+                let old_f = f;
+                f = h.complemented();
+                h = old_f.complemented();
+            }
+        } else if h.is_false() {
+            // f ∧ g
+            if self.should_swap(f, g) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if h.is_true() {
+            // ¬f ∨ g  →  ite(¬g, ¬f, 1)
+            if self.should_swap(f, g) {
+                let old_f = f;
+                f = g.complemented();
+                g = old_f.complemented();
+            }
+        } else if g == h.complemented() {
+            // f ↔ g  →  ite(g, f, ¬f)
+            if self.should_swap(f, g) {
+                std::mem::swap(&mut f, &mut g);
+                h = g.complemented();
+            }
+        }
+        // Complement rules: a regular selector (ite(¬f,g,h) = ite(f,h,g)) and
+        // a regular then-branch (ite(f,¬g,¬h) = ¬ite(f,g,h)), mirroring the
+        // node-level hi-edge-regular invariant at the cache level.
+        if f.is_complemented() {
+            f = f.complemented();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let flip = g.is_complemented();
+        if flip {
+            g = g.complemented();
+            h = h.complemented();
         }
         let key = OpKey::Ite(f, g, h);
         if let Some(&r) = self.op_cache.get(&key) {
-            self.stats[OpKind::Ite].hit();
-            return r;
+            self.stats[kind].hit();
+            return if flip { r.complemented() } else { r };
         }
-        self.stats[OpKind::Ite].miss();
-        let lf = self.node_level(f);
-        let lg = self.node_level(g);
-        let lh = self.node_level(h);
-        let level = lf.min(lg).min(lh);
+        self.stats[kind].miss();
+        let level = self
+            .node_level(f)
+            .min(self.node_level(g))
+            .min(self.node_level(h));
         let var = self.var_at_level(level);
-        let split = |m: &Manager, n: NodeId, ln: u32| -> (NodeId, NodeId) {
-            if ln == level {
+        let split = |m: &Manager, n: NodeId| -> (NodeId, NodeId) {
+            if !n.is_terminal() && m.node_level(n) == level {
                 (m.node_lo(n), m.node_hi(n))
             } else {
                 (n, n)
             }
         };
-        let (f0, f1) = split(self, f, lf);
-        let (g0, g1) = split(self, g, lg);
-        let (h0, h1) = split(self, h, lh);
-        let lo = self.ite(f0, g0, h0);
-        let hi = self.ite(f1, g1, h1);
+        let (f0, f1) = split(self, f);
+        let (g0, g1) = split(self, g);
+        let (h0, h1) = split(self, h);
+        let lo = self.ite_with(f0, g0, h0, kind);
+        let hi = self.ite_with(f1, g1, h1, kind);
         let r = self.mk(var, lo, hi);
         self.op_cache.insert(key, r);
-        r
+        if flip {
+            r.complemented()
+        } else {
+            r
+        }
     }
 
     /// The cofactor `f|_{v=value}`.
@@ -273,6 +276,20 @@ impl Manager {
     /// Panics if `v` is out of range.
     pub fn restrict(&mut self, f: NodeId, v: Var, value: bool) -> NodeId {
         assert!((v as usize) < self.num_vars(), "variable out of range");
+        // Cofactoring commutes with complement; caching on the regular edge
+        // lets f and ¬f share every restrict entry.
+        let flip = f.is_complemented();
+        let f = f.regular();
+        let r = self.restrict_regular(f, v, value);
+        if flip {
+            r.complemented()
+        } else {
+            r
+        }
+    }
+
+    fn restrict_regular(&mut self, f: NodeId, v: Var, value: bool) -> NodeId {
+        debug_assert!(!f.is_complemented());
         if f.is_terminal() {
             return f;
         }
@@ -312,17 +329,26 @@ impl Manager {
     /// Panics if `v` is out of range.
     pub fn compose(&mut self, f: NodeId, v: Var, g: NodeId) -> NodeId {
         assert!((v as usize) < self.num_vars(), "variable out of range");
+        // Composition also commutes with complement on f.
+        let flip = f.is_complemented();
+        let f = f.regular();
         let key = OpKey::Compose(f, v, g);
-        if let Some(&r) = self.op_cache.get(&key) {
+        let r = if let Some(&r) = self.op_cache.get(&key) {
             self.stats[OpKind::Compose].hit();
-            return r;
+            r
+        } else {
+            self.stats[OpKind::Compose].miss();
+            let f0 = self.restrict(f, v, false);
+            let f1 = self.restrict(f, v, true);
+            let r = self.ite(g, f1, f0);
+            self.op_cache.insert(key, r);
+            r
+        };
+        if flip {
+            r.complemented()
+        } else {
+            r
         }
-        self.stats[OpKind::Compose].miss();
-        let f0 = self.restrict(f, v, false);
-        let f1 = self.restrict(f, v, true);
-        let r = self.ite(g, f1, f0);
-        self.op_cache.insert(key, r);
-        r
     }
 
     /// Existential quantification `∃ vars . f`.
@@ -346,11 +372,18 @@ impl Manager {
     }
 
     fn quantify(&mut self, f: NodeId, vars: &[Var], existential: bool) -> NodeId {
-        if vars.is_empty() {
+        if vars.is_empty() || f.is_terminal() {
             return f;
         }
         for &v in vars {
             assert!((v as usize) < self.num_vars(), "variable out of range");
+        }
+        // Quantifier duality folds the complement away: ∃v.¬f = ¬∀v.f, so the
+        // cache only ever sees regular edges. Stats are attributed to the
+        // quantifier actually *computed* after the fold.
+        if f.is_complemented() {
+            let r = self.quantify(f.regular(), vars, !existential);
+            return r.complemented();
         }
         // Whole-call memoisation is only sound when the variable set packs
         // losslessly into the cache key; otherwise fall through uncached
@@ -429,6 +462,7 @@ mod tests {
         exhaustive_check(&m, f_and, 2, |x| x[0] && x[1]);
         exhaustive_check(&m, f_or, 2, |x| x[0] || x[1]);
         exhaustive_check(&m, f_xor, 2, |x| x[0] ^ x[1]);
+        m.assert_canonical();
     }
 
     #[test]
@@ -444,6 +478,7 @@ mod tests {
         exhaustive_check(&m, f_nor, 2, |x| !(x[0] || x[1]));
         exhaustive_check(&m, f_xnor, 2, |x| x[0] == x[1]);
         exhaustive_check(&m, f_andnot, 2, |x| x[0] && !x[1]);
+        m.assert_canonical();
     }
 
     #[test]
@@ -472,6 +507,40 @@ mod tests {
     }
 
     #[test]
+    fn demorgan_shares_one_cache_slot() {
+        // a∧b and ¬(¬a ∨ ¬b) are the same standard triple; the second
+        // spelling must hit the cache entry the first created.
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f1 = m.and(a, b);
+        let misses_after_and = m.stats()[OpKind::And].misses;
+        let na = m.not(a);
+        let nb = m.not(b);
+        let or = m.or(na, nb);
+        let f2 = m.not(or);
+        assert_eq!(f1, f2);
+        assert_eq!(
+            m.stats()[OpKind::Or].misses,
+            0,
+            "¬a ∨ ¬b should hit the a∧b standard triple"
+        );
+        assert_eq!(m.stats()[OpKind::And].misses, misses_after_and);
+    }
+
+    #[test]
+    fn commuted_xor_shares_one_cache_slot() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f1 = m.xor(a, b);
+        let misses = m.stats()[OpKind::Xor].misses;
+        let f2 = m.xor(b, a);
+        assert_eq!(f1, f2);
+        assert_eq!(m.stats()[OpKind::Xor].misses, misses, "xor(b,a) missed");
+    }
+
+    #[test]
     fn ite_is_mux() {
         let mut m = Manager::new(3);
         let s = m.var(0);
@@ -495,6 +564,26 @@ mod tests {
     }
 
     #[test]
+    fn ite_selector_substitution() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        // ite(a, a, b) = ite(a, 1, b) = a ∨ b
+        let f = m.ite(a, a, b);
+        let or = m.or(a, b);
+        assert_eq!(f, or);
+        // ite(a, b, a) = ite(a, b, 0) = a ∧ b
+        let g = m.ite(a, b, a);
+        let and = m.and(a, b);
+        assert_eq!(g, and);
+        // ite(a, ¬a, b) = ite(a, 0, b) = ¬a ∧ b
+        let na = m.not(a);
+        let h = m.ite(a, na, b);
+        let expect = m.and_not(b, a);
+        assert_eq!(h, expect);
+    }
+
+    #[test]
     fn restrict_cofactors() {
         let mut m = Manager::new(2);
         let a = m.var(0);
@@ -503,6 +592,18 @@ mod tests {
         assert_eq!(m.restrict(f, 0, true), b);
         assert_eq!(m.restrict(f, 0, false), NodeId::FALSE);
         assert_eq!(m.restrict(f, 1, true), a);
+    }
+
+    #[test]
+    fn restrict_commutes_with_not() {
+        let mut m = Manager::new(2);
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        let nf = m.not(f);
+        let r = m.restrict(f, 0, true);
+        let nr = m.restrict(nf, 0, true);
+        assert_eq!(nr, r.complemented());
     }
 
     #[test]
@@ -541,6 +642,20 @@ mod tests {
         let u2 = m.forall(g, &[1]);
         assert_eq!(u2, a);
         assert_eq!(m.exists(f, &[]), f);
+    }
+
+    #[test]
+    fn quantifier_duality_through_complement() {
+        let mut m = Manager::new(3);
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c);
+        let nf = m.not(f);
+        let e = m.exists(nf, &[1]);
+        let u = m.forall(f, &[1]);
+        assert_eq!(e, u.complemented()); // ∃b.¬f = ¬∀b.f
     }
 
     #[test]

@@ -34,12 +34,15 @@ impl Manager {
 
         // Snapshot the u-nodes; mk() may append new ones (which are v-free
         // and need no rewrite).
-        let u_nodes: Vec<usize> = (2..self.nodes.len())
+        let u_nodes: Vec<usize> = (1..self.nodes.len())
             .filter(|&i| self.nodes[i].var == u)
             .collect();
 
         for idx in u_nodes {
             let node = self.nodes[idx];
+            // Stored hi is regular (canonical form); stored lo may carry a
+            // complement. Cofactoring goes through the folded accessors so
+            // the attributes travel with the functions.
             let (f1, f0) = (node.hi, node.lo);
             let top_is_v = |m: &Manager, x: NodeId| !x.is_terminal() && m.nodes[x.index()].var == v;
             if !top_is_v(self, f1) && !top_is_v(self, f0) {
@@ -48,24 +51,30 @@ impl Manager {
             }
             // Cofactors with respect to v.
             let (f11, f10) = if top_is_v(self, f1) {
-                (self.nodes[f1.index()].hi, self.nodes[f1.index()].lo)
+                (self.node_hi(f1), self.node_lo(f1))
             } else {
                 (f1, f1)
             };
             let (f01, f00) = if top_is_v(self, f0) {
-                (self.nodes[f0.index()].hi, self.nodes[f0.index()].lo)
+                (self.node_hi(f0), self.node_lo(f0))
             } else {
                 (f0, f0)
             };
             // F = v ? (u ? f11 : f01) : (u ? f10 : f00)
+            //
+            // f11 is regular (it is either f1 itself or f1's stored hi, both
+            // regular), so `hi` below never complement-normalises: the
+            // rewritten node keeps a regular hi edge and the in-place
+            // identity F(idx) is preserved exactly.
             let hi = self.mk(u, f01, f11);
             let lo = self.mk(u, f00, f10);
+            debug_assert!(!hi.is_complemented(), "swap lost the hi-edge invariant");
             debug_assert_ne!(hi, lo, "a v-dependent node cannot lose v");
             let old = self.nodes[idx];
             self.unique.remove(&old);
             let new = crate::manager::Node { var: v, lo, hi };
             self.nodes[idx] = new;
-            let displaced = self.unique.insert(new, NodeId(idx as u32));
+            let displaced = self.unique.insert(new, NodeId::from_index(idx));
             debug_assert!(
                 displaced.is_none(),
                 "level swap produced a duplicate node; canonicity violated"
@@ -101,10 +110,11 @@ impl Manager {
     /// Number of internal nodes reachable from `roots` (the live size —
     /// the quantity sifting minimises).
     pub fn live_size(&self, roots: &[NodeId]) -> usize {
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        // Dedup by node index: an edge and its complement share one node.
+        let mut seen: HashSet<usize> = HashSet::new();
         let mut stack: Vec<NodeId> = roots.to_vec();
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x) {
+            if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
             let node = self.nodes[x.index()];
@@ -184,11 +194,11 @@ impl Manager {
     }
 
     fn live_nodes_with_var(&self, roots: &[NodeId], var: Var) -> usize {
-        let mut seen: HashSet<NodeId> = HashSet::new();
+        let mut seen: HashSet<usize> = HashSet::new();
         let mut stack: Vec<NodeId> = roots.to_vec();
         let mut count = 0;
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x) {
+            if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
             let node = self.nodes[x.index()];

@@ -33,7 +33,9 @@ pub enum OpKind {
     Or,
     /// `apply` with [`BinOp::Xor`](crate::BinOp::Xor).
     Xor,
-    /// Negation.
+    /// Negation. With complement edges `not()` is a pointer-bit flip that
+    /// touches no cache, so these counters stay zero; the family is kept so
+    /// pre-refactor stats dumps remain comparable.
     Not,
     /// If-then-else.
     Ite,

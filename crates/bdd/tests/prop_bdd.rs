@@ -78,6 +78,79 @@ fn assignments() -> impl Iterator<Item = Vec<bool>> {
     (0u32..1 << NVARS).map(|bits| (0..NVARS).map(|i| bits >> i & 1 == 1).collect())
 }
 
+/// A random expression over a wider variable set (for the truth-table
+/// oracle property below).
+fn arb_expr_n(nvars: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<bool>().prop_map(Expr::Const),
+        (0..nvars).prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(5, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (
+                prop_oneof![Just(BinOp::And), Just(BinOp::Or), Just(BinOp::Xor)],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner)
+                .prop_map(|(f, g, h)| Expr::Ite(Box::new(f), Box::new(g), Box::new(h))),
+        ]
+    })
+}
+
+/// Bit-parallel scalar truth table of `e` over `nvars` variables: bit `i` of
+/// the table is the value under the assignment whose bit `j` sets variable
+/// `j`. Computed compositionally with word-wide Boolean ops — an oracle that
+/// shares no traversal code with the BDD layer.
+fn truth_table(e: &Expr, nvars: u32) -> Vec<u64> {
+    let bits = 1usize << nvars;
+    let words = bits.div_ceil(64);
+    let mask_last = if bits % 64 == 0 { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+    let mut table = match e {
+        Expr::Const(b) => vec![if *b { u64::MAX } else { 0 }; words],
+        Expr::Var(v) => (0..words)
+            .map(|w| {
+                let mut word = 0u64;
+                for bit in 0..64 {
+                    let idx = w * 64 + bit;
+                    if idx < bits && idx >> v & 1 == 1 {
+                        word |= 1 << bit;
+                    }
+                }
+                word
+            })
+            .collect(),
+        Expr::Not(x) => truth_table(x, nvars).iter().map(|w| !w).collect(),
+        Expr::Bin(op, a, b) => {
+            let ta = truth_table(a, nvars);
+            let tb = truth_table(b, nvars);
+            ta.iter()
+                .zip(&tb)
+                .map(|(&x, &y)| match op {
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                })
+                .collect()
+        }
+        Expr::Ite(f, g, h) => {
+            let tf = truth_table(f, nvars);
+            let tg = truth_table(g, nvars);
+            let th = truth_table(h, nvars);
+            tf.iter()
+                .zip(tg.iter().zip(&th))
+                .map(|(&s, (&x, &y))| (s & x) | (!s & y))
+                .collect()
+        }
+    };
+    if let Some(last) = table.last_mut() {
+        *last &= mask_last;
+    }
+    table
+}
+
 proptest! {
     #[test]
     fn bdd_matches_brute_force(e in arb_expr()) {
@@ -278,6 +351,74 @@ proptest! {
         let after2: Vec<bool> = assignments().map(|env| m.eval(f2, &env)).collect();
         prop_assert_eq!(before1, after1);
         prop_assert_eq!(before2, after2);
+    }
+
+    // -----------------------------------------------------------------
+    // Complement-edge canonicity properties.
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn negation_is_involutive_and_strict(e in arb_expr()) {
+        let mut m = Manager::new(NVARS as usize);
+        let f = build(&mut m, &e);
+        let nf = m.not(f);
+        // ¬f is never f — structural inequality is functional inequality.
+        prop_assert_ne!(f, nf);
+        // ¬¬f is f by NodeId equality, not just semantically.
+        prop_assert_eq!(m.not(nf), f);
+        // Negation shares the node: only the attribute differs.
+        prop_assert_eq!(nf.index(), f.index());
+        prop_assert_ne!(nf.is_complemented(), f.is_complemented());
+    }
+
+    #[test]
+    fn no_hi_edge_is_complemented_after_any_op_sequence(
+        e in arb_expr(),
+        g in arb_expr(),
+        v in 0..NVARS,
+        swaps in proptest::collection::vec(0..NVARS - 1, 0..8)
+    ) {
+        // assert_canonical() checks the whole node table: no stored hi edge
+        // carries the complement attribute, no redundant or duplicate nodes.
+        let mut m = Manager::new(NVARS as usize);
+        let f1 = build(&mut m, &e);
+        let f2 = build(&mut m, &g);
+        m.assert_canonical();
+        let x = m.xor(f1, f2);
+        let n = m.not(x);
+        let _ = m.ite(n, f1, f2);
+        let _ = m.restrict(n, v, true);
+        let _ = m.compose(f1, v, f2);
+        let _ = m.exists(n, &[v]);
+        let _ = m.forall(n, &[v]);
+        m.assert_canonical();
+        for level in swaps {
+            m.swap_adjacent_levels(level);
+            m.assert_canonical();
+        }
+        m.sift(&[f1, f2, n]);
+        m.assert_canonical();
+        let _remap = m.gc(&[f1, n]);
+        m.assert_canonical();
+    }
+
+    #[test]
+    fn random_ops_match_truth_table_oracle_12_vars(e in arb_expr_n(12)) {
+        // Scalar bit-parallel oracle over all 4096 assignments of 12 vars.
+        const N: u32 = 12;
+        let mut m = Manager::new(N as usize);
+        let f = build(&mut m, &e);
+        m.assert_canonical();
+        let table = truth_table(&e, N);
+        for bits in 0usize..1 << N {
+            let env: Vec<bool> = (0..N).map(|i| bits >> i & 1 == 1).collect();
+            let want = table[bits / 64] >> (bits % 64) & 1 == 1;
+            prop_assert_eq!(m.eval(f, &env), want, "assignment {:#014b}", bits);
+        }
+        let ones: u128 = table.iter().map(|w| w.count_ones() as u128).sum();
+        prop_assert_eq!(m.sat_count(f), ones);
+        let nf = m.not(f);
+        prop_assert_eq!(m.sat_count(nf), (1u128 << N) - ones);
     }
 
     #[test]

@@ -25,7 +25,7 @@ fn fresh_manager_has_empty_counters() {
     assert_eq!(s.unique.lookups, 0);
     assert_eq!(s.op_total().lookups, 0);
     assert_eq!(s.gc_runs, 0);
-    assert_eq!(s.peak_nodes, 2); // the two terminals
+    assert_eq!(s.peak_nodes, 1); // the single shared terminal
     assert_internally_consistent(&m);
 }
 
@@ -122,10 +122,10 @@ fn peak_nodes_survives_gc_compaction() {
         f = m.and(x, v);
     }
     let peak_before = m.stats().peak_nodes;
-    assert!(peak_before > 2);
+    assert!(peak_before > 1);
     let remap = m.gc(&[]); // collect everything
     drop(remap);
-    assert_eq!(m.num_nodes(), 2);
+    assert_eq!(m.num_nodes(), 1);
     let s = m.stats();
     assert_eq!(s.peak_nodes, peak_before, "peak must not shrink across gc");
     assert_eq!(s.gc_runs, 1);
@@ -156,10 +156,29 @@ fn gc_resets_op_cache_counters_but_not_cumulative_ones() {
     assert_eq!(s.gc_runs, 1);
 
     // The new cache generation starts cold: the same apply misses again.
-    let _ = m.not(f);
+    let g = m.var(2);
+    let _ = m.and(f, g);
     let s = m.stats();
-    assert!(s[OpKind::Not].misses > 0);
+    assert!(s[OpKind::And].misses > 0);
     assert_internally_consistent(&m);
+}
+
+#[test]
+fn not_generates_no_cache_traffic_and_no_nodes() {
+    let mut m = Manager::new(3);
+    let a = m.var(0);
+    let b = m.var(1);
+    let f = m.and(a, b);
+    let nodes_before = m.num_nodes();
+    let stats_before = m.stats().clone();
+    let nf = m.not(f);
+    let nnf = m.not(nf);
+    assert_eq!(nnf, f);
+    assert_eq!(m.num_nodes(), nodes_before, "not() allocated");
+    let s = m.stats();
+    assert_eq!(s[OpKind::Not].lookups, 0, "not() probed the op cache");
+    assert_eq!(s.op_total().lookups, stats_before.op_total().lookups);
+    assert_eq!(s.unique.lookups, stats_before.unique.lookups);
 }
 
 #[test]

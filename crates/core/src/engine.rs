@@ -25,6 +25,15 @@ pub struct EngineConfig {
     /// Garbage-collect the BDD manager (keeping only good functions) when
     /// the node count exceeds this threshold at the start of an analysis.
     pub gc_threshold: usize,
+    /// Adaptive collection: also gc when the node table exceeds this
+    /// multiple of its size right after the previous collection (or the
+    /// initial good-function build), subject to a small absolute floor so
+    /// tiny circuits never bother. This keeps the table — and therefore
+    /// `peak_nodes` — proportional to the *live* working set instead of the
+    /// total ever allocated across a sweep. Collections never change
+    /// analysis results (only `NodeId` handles and cache state); set it to
+    /// `f64::INFINITY` to restore threshold-only behaviour.
+    pub gc_growth: f64,
 }
 
 impl Default for EngineConfig {
@@ -33,9 +42,14 @@ impl Default for EngineConfig {
             selective_trace: true,
             table1: true,
             gc_threshold: 2_000_000,
+            gc_growth: 4.0,
         }
     }
 }
+
+/// Below this table size the adaptive `gc_growth` trigger stays quiet:
+/// collecting a few-hundred-node table costs more than it frees.
+const GC_TABLE_FLOOR: usize = 1 << 10;
 
 /// The result of analysing one fault: the complete test set and the exact
 /// metrics derived from it.
@@ -131,6 +145,9 @@ pub struct DiffProp<'c> {
     circuit: &'c Circuit,
     good: GoodFunctions,
     config: EngineConfig,
+    /// Node-table size right after the last collection (or the initial
+    /// build); the reference point for [`EngineConfig::gc_growth`].
+    gc_baseline: usize,
 }
 
 impl<'c> DiffProp<'c> {
@@ -142,10 +159,13 @@ impl<'c> DiffProp<'c> {
 
     /// Creates an analyser with an explicit configuration.
     pub fn with_config(circuit: &'c Circuit, config: EngineConfig) -> Self {
+        let good = GoodFunctions::build(circuit);
+        let gc_baseline = good.num_nodes();
         DiffProp {
             circuit,
-            good: GoodFunctions::build(circuit),
+            good,
             config,
+            gc_baseline,
         }
     }
 
@@ -156,10 +176,25 @@ impl<'c> DiffProp<'c> {
         good: GoodFunctions,
         config: EngineConfig,
     ) -> Self {
+        let gc_baseline = good.num_nodes();
         DiffProp {
             circuit,
             good,
             config,
+            gc_baseline,
+        }
+    }
+
+    /// Collects garbage if either trigger fires: the absolute
+    /// [`EngineConfig::gc_threshold`], or the adaptive
+    /// [`EngineConfig::gc_growth`] multiple of the post-collection baseline.
+    fn maybe_gc(&mut self) {
+        let n = self.good.num_nodes();
+        let adaptive = (self.gc_baseline as f64 * self.config.gc_growth)
+            .min(usize::MAX as f64) as usize;
+        if n > self.config.gc_threshold || n > adaptive.max(GC_TABLE_FLOOR) {
+            self.good.gc();
+            self.gc_baseline = self.good.num_nodes();
         }
     }
 
@@ -187,9 +222,7 @@ impl<'c> DiffProp<'c> {
     /// invalidated by this call (the engine garbage-collects when past
     /// [`EngineConfig::gc_threshold`]).
     pub fn analyze(&mut self, fault: &Fault) -> FaultAnalysis {
-        if self.good.num_nodes() > self.config.gc_threshold {
-            self.good.gc();
-        }
+        self.maybe_gc();
 
         // 1. Initialise site differences.
         let mut init = SiteInit::default();
@@ -271,9 +304,7 @@ impl<'c> DiffProp<'c> {
                 assert_ne!(a.site, b.site, "duplicate fault site {a}");
             }
         }
-        if self.good.num_nodes() > self.config.gc_threshold {
-            self.good.gc();
-        }
+        self.maybe_gc();
         let mut init = SiteInit::default();
         for f in components {
             self.init_stuck_at(f, &mut init);

@@ -112,6 +112,92 @@ fn bridging_universe(circuit: &Circuit, cap: usize) -> Vec<Fault> {
     faults
 }
 
+// ---------------------------------------------------------------------------
+// Golden summaries: the engine's output pinned bit-for-bit across refactors.
+//
+// `tests/golden/universe_summaries.tsv` was captured from the serial sweep
+// before the complement-edge BDD refactor. Every `f64` is recorded via
+// `to_bits`, so this layer proves that internal representation changes
+// (complement edges, ITE-normalized caching, ...) leave the analysis output
+// bit-identical — not merely "close". Regenerate deliberately with
+// `DP_UPDATE_GOLDEN=1 cargo test -q --test differential golden`.
+// ---------------------------------------------------------------------------
+
+const GOLDEN_PATH: &str = "tests/golden/universe_summaries.tsv";
+
+/// One summary, serialised losslessly (f64s as hex bit patterns).
+fn summary_line(circuit: &str, model: &str, idx: usize, s: &diffprop::core::FaultSummary) -> String {
+    let obs: String = s
+        .observable_outputs
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    let adherence = match s.adherence {
+        Some(a) => format!("{:016x}", a.to_bits()),
+        None => "-".to_string(),
+    };
+    let count = match s.test_count {
+        Some(c) => c.to_string(),
+        None => "-".to_string(),
+    };
+    format!(
+        "{circuit}\t{model}\t{idx}\t{}\t{count}\t{:016x}\t{adherence}\t{obs}\t{}",
+        s.fault,
+        s.detectability.to_bits(),
+        s.site_function_constant as u8
+    )
+}
+
+fn golden_universes() -> Vec<(String, &'static str, Vec<Fault>)> {
+    let mut out = Vec::new();
+    for circuit in [c17(), full_adder(), c95()] {
+        let name = circuit.name().to_string();
+        out.push((name.clone(), "stuck", stuck_at_universe(&circuit)));
+        // Same deterministic cap as the oracle tests keeps this fast on c95.
+        let cap = if circuit.num_inputs() > 8 { 120 } else { usize::MAX };
+        out.push((name, "bridge", bridging_universe(&circuit, cap)));
+    }
+    out
+}
+
+fn current_golden_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for (name, model, faults) in golden_universes() {
+        let circuit = match name.as_str() {
+            "c17" => c17(),
+            "full_adder" => full_adder(),
+            "c95" => c95(),
+            other => panic!("unknown golden circuit {other}"),
+        };
+        let sweep =
+            analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Serial);
+        for (idx, summary) in sweep.summaries.iter().enumerate() {
+            lines.push(summary_line(&name, model, idx, summary));
+        }
+    }
+    lines
+}
+
+#[test]
+fn golden_universe_summaries_are_bit_identical() {
+    let lines = current_golden_lines();
+    if std::env::var_os("DP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file missing; run with DP_UPDATE_GOLDEN=1 to capture");
+    let golden: Vec<&str> = golden.lines().collect();
+    assert_eq!(
+        golden.len(),
+        lines.len(),
+        "universe size changed; engine no longer enumerates the golden faults"
+    );
+    for (want, got) in golden.iter().zip(&lines) {
+        assert_eq!(want, got, "summary drifted from pre-complement-edge golden");
+    }
+}
+
 #[test]
 fn c17_stuck_at_matches_exhaustive() {
     let c = c17();

@@ -67,12 +67,12 @@ fn assert_stats_consistent(sweep: &SweepResult) {
         let total = s.op_total();
         assert_eq!(total.hits + total.misses, total.lookups);
         // Every unique-table miss allocates exactly one node and nothing
-        // else does, so with the two terminals the peak is bracketed by the
-        // total ever allocated — and equals it while no gc has compacted.
-        assert!(s.peak_nodes >= 2, "peak below the terminals");
-        assert!(s.peak_nodes as u64 <= 2 + s.unique.misses);
+        // else does, so with the single shared terminal the peak is bracketed
+        // by the total ever allocated — and equals it while no gc compacted.
+        assert!(s.peak_nodes >= 1, "peak below the terminal");
+        assert!(s.peak_nodes as u64 <= 1 + s.unique.misses);
         if s.gc_runs == 0 {
-            assert_eq!(s.peak_nodes as u64, 2 + s.unique.misses);
+            assert_eq!(s.peak_nodes as u64, 1 + s.unique.misses);
         }
     }
 }
