@@ -4,7 +4,8 @@
 //! Usage:
 //!
 //! ```text
-//! figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--only figN,figM,...]
+//! figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--node-budget N]
+//!         [--fallback-samples N] [--only figN,figM,...]
 //! ```
 //!
 //! `--smoke` runs a reduced workload (fast CI check); the default
@@ -13,7 +14,12 @@
 //! are computed once and shared across figures. `--threads N` shards each
 //! fault sweep over N workers — the printed figure series are bit-identical
 //! to a serial run (see `dp_core::parallel`); per-shard BDD-manager counters
-//! go to stderr alongside the timings. Output of a full run is recorded in
+//! go to stderr alongside the timings. `--node-budget N` caps the BDD node
+//! table per fault analysis; over-budget faults degrade to sampled-simulation
+//! estimates (`--fallback-samples N` vectors each) and the degraded count is
+//! reported on stderr — figure series printed on stdout then mix exact and
+//! estimated detectabilities, so budgets are for exploratory runs, not the
+//! recorded tables. Output of a full (unbudgeted) run is recorded in
 //! `EXPERIMENTS.md`.
 
 use std::collections::HashMap;
@@ -28,7 +34,7 @@ use dp_analysis::trends::{render_trend, trend_point, TrendPoint};
 use dp_analysis::{
     bridging_universe, records_from_sweep, stuck_at_universe, FaultRecord, Histogram,
 };
-use dp_core::{analyze_universe, EngineConfig, Parallelism, SweepResult};
+use dp_core::{analyze_universe_with, BudgetConfig, Parallelism, SweepResult};
 use dp_faults::BridgeKind;
 use dp_netlist::generators::benchmark_suite;
 use dp_netlist::Circuit;
@@ -65,7 +71,13 @@ impl Lab {
             let mut faults = stuck_at_universe(c, true);
             faults.truncate(self.config.sa_cap);
             let t = Instant::now();
-            let sweep = analyze_universe(c, &faults, EngineConfig::default(), self.config.parallelism);
+            let sweep = analyze_universe_with(
+                c,
+                &faults,
+                self.config.engine_config(),
+                self.config.parallelism,
+                self.config.fallback,
+            );
             let records = records_from_sweep(c, &faults, &sweep);
             eprintln!(
                 "  [sa] {name}: {} faults in {:?}",
@@ -87,7 +99,13 @@ impl Lab {
             let c = self.circuit(name);
             let faults = bridging_universe(c, kind, Some(self.config.bf_sample), self.config.seed);
             let t = Instant::now();
-            let sweep = analyze_universe(c, &faults, EngineConfig::default(), self.config.parallelism);
+            let sweep = analyze_universe_with(
+                c,
+                &faults,
+                self.config.engine_config(),
+                self.config.parallelism,
+                self.config.fallback,
+            );
             let records = records_from_sweep(c, &faults, &sweep);
             eprintln!(
                 "  [bf {kind}] {name}: {} faults in {:?}",
@@ -138,6 +156,16 @@ fn main() {
                     Parallelism::Threads(n)
                 };
             }
+            "--node-budget" => {
+                i += 1;
+                let n: usize = args[i].parse().expect("--node-budget takes a number");
+                config.budget = BudgetConfig::with_max_nodes(n);
+            }
+            "--fallback-samples" => {
+                i += 1;
+                config.fallback.samples =
+                    args[i].parse().expect("--fallback-samples takes a number");
+            }
             "--only" => {
                 i += 1;
                 only = Some(args[i].split(',').map(str::to_string).collect());
@@ -145,7 +173,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
-                    "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--only fig1,...]"
+                    "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] \
+                     [--node-budget N] [--fallback-samples N] [--only fig1,...]"
                 );
                 std::process::exit(2);
             }
@@ -311,6 +340,14 @@ fn section(title: &str) {
 /// Per-shard BDD-manager counters, on stderr with the timing lines so the
 /// figure series on stdout stay byte-stable across parallelism settings.
 fn report_shards(sweep: &SweepResult) {
+    let bounded = sweep.num_bounded();
+    if bounded > 0 {
+        eprintln!(
+            "    {} of {} faults over budget — sampled estimates in the series",
+            bounded,
+            sweep.summaries.len()
+        );
+    }
     for shard in &sweep.shards {
         let unique = &shard.stats.unique;
         let op = shard.stats.op_total();

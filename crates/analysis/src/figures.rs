@@ -4,12 +4,16 @@
 //! full set (recorded in `EXPERIMENTS.md`) and the Criterion harness in
 //! `crates/bench` times each one.
 
-use dp_core::Parallelism;
+use dp_core::{
+    analyze_universe_with, BudgetConfig, EngineConfig, FallbackConfig, Parallelism,
+};
 use dp_faults::BridgeKind;
 use dp_netlist::Circuit;
 
 use crate::histogram::Histogram;
-use crate::records::{analyze_faults_with, bridging_universe, stuck_at_universe, FaultRecord};
+use crate::records::{
+    bridging_universe, records_from_sweep, stuck_at_universe, FaultRecord,
+};
 use crate::topology::{
     detectability_vs_pi_distance, detectability_vs_po_distance, pos_fed_vs_observed,
     DistanceBucket,
@@ -33,6 +37,12 @@ pub struct ExperimentConfig {
     /// How fault sweeps execute. Serial by default; any setting produces
     /// bit-identical figure series (see `dp_core::parallel`).
     pub parallelism: Parallelism,
+    /// BDD work budget per fault analysis. Unlimited by default, which
+    /// keeps every record exact; with a budget, over-budget faults carry
+    /// sampled estimates flagged by `FaultRecord::outcome`.
+    pub budget: BudgetConfig,
+    /// Simulator fallback used for over-budget faults.
+    pub fallback: FallbackConfig,
 }
 
 impl Default for ExperimentConfig {
@@ -44,6 +54,8 @@ impl Default for ExperimentConfig {
             sa_cap: usize::MAX,
             seed: 1990,
             parallelism: Parallelism::Serial,
+            budget: BudgetConfig::UNLIMITED,
+            fallback: FallbackConfig::default(),
         }
     }
 }
@@ -57,6 +69,17 @@ impl ExperimentConfig {
             sa_cap: 60,
             seed: 1990,
             parallelism: Parallelism::Serial,
+            budget: BudgetConfig::UNLIMITED,
+            fallback: FallbackConfig::default(),
+        }
+    }
+
+    /// The engine configuration the drivers run with (defaults plus this
+    /// workload's budget).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            budget: self.budget,
+            ..Default::default()
         }
     }
 
@@ -71,7 +94,14 @@ impl ExperimentConfig {
 pub fn stuck_at_records(circuit: &Circuit, config: &ExperimentConfig) -> Vec<FaultRecord> {
     let mut faults = stuck_at_universe(circuit, true);
     faults.truncate(config.sa_cap);
-    analyze_faults_with(circuit, &faults, config.parallelism)
+    let sweep = analyze_universe_with(
+        circuit,
+        &faults,
+        config.engine_config(),
+        config.parallelism,
+        config.fallback,
+    );
+    records_from_sweep(circuit, &faults, &sweep)
 }
 
 /// Bridging records for one circuit and kind under a config.
@@ -81,7 +111,14 @@ pub fn bridging_records(
     config: &ExperimentConfig,
 ) -> Vec<FaultRecord> {
     let faults = bridging_universe(circuit, kind, Some(config.bf_sample), config.seed);
-    analyze_faults_with(circuit, &faults, config.parallelism)
+    let sweep = analyze_universe_with(
+        circuit,
+        &faults,
+        config.engine_config(),
+        config.parallelism,
+        config.fallback,
+    );
+    records_from_sweep(circuit, &faults, &sweep)
 }
 
 /// **Figure 1** — stuck-at detection-probability histogram of a circuit.

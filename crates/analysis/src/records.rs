@@ -1,6 +1,6 @@
 //! Batch fault analysis: one scalar record per fault.
 
-use dp_core::{analyze_universe, EngineConfig, Parallelism, SweepResult};
+use dp_core::{analyze_universe, EngineConfig, FaultOutcome, Parallelism, SweepResult};
 use dp_faults::{
     checkpoint_faults, collapse_checkpoint_faults, enumerate_nfbfs, sample_nfbfs,
     BridgeKind, Fault, SampleConfig,
@@ -32,6 +32,10 @@ pub struct FaultRecord {
     /// Level of the site from the PIs (the X coordinate; PI-distance
     /// scatter, §4.1); for a bridging fault, the larger of the two sites.
     pub level_from_pi: u32,
+    /// Whether the detectability is exact or a budget-capped sampled
+    /// estimate (see [`dp_core::FaultOutcome`]). Always `Exact` without a
+    /// configured BDD work budget.
+    pub outcome: FaultOutcome,
 }
 
 impl FaultRecord {
@@ -145,6 +149,7 @@ pub fn records_from_sweep(
             site_function_constant: summary.site_function_constant,
             max_levels_to_po,
             level_from_pi,
+            outcome: summary.outcome,
         });
     }
     records
@@ -226,6 +231,33 @@ mod tests {
             assert_eq!(s.max_levels_to_po, t.max_levels_to_po);
             assert_eq!(s.level_from_pi, t.level_from_pi);
         }
+    }
+
+    #[test]
+    fn default_records_are_exact_and_budgeted_records_are_flagged() {
+        let c = c17();
+        let faults = stuck_at_universe(&c, true);
+        let records = analyze_faults(&c, &faults);
+        assert!(records.iter().all(|r| r.outcome.is_exact()));
+
+        use dp_core::{analyze_universe_with, BudgetConfig, FallbackConfig};
+        let config = EngineConfig {
+            budget: BudgetConfig::with_max_nodes(2),
+            ..Default::default()
+        };
+        let sweep = analyze_universe_with(
+            &c,
+            &faults,
+            config,
+            Parallelism::Serial,
+            FallbackConfig::default(),
+        );
+        let bounded = records_from_sweep(&c, &faults, &sweep);
+        assert_eq!(bounded.len(), faults.len());
+        assert!(bounded.iter().all(|r| !r.outcome.is_exact()));
+        assert!(bounded
+            .iter()
+            .all(|r| (0.0..=1.0).contains(&r.detectability)));
     }
 
     #[test]

@@ -1,0 +1,99 @@
+//! Work budgets: hard caps on how much a manager may grow per analysis.
+//!
+//! OBDD sizes can blow up exponentially on adversarial circuits, and a
+//! production sweep cannot afford one pathological fault taking the whole
+//! process down. A [`BudgetConfig`] bounds the two resources a Difference
+//! Propagation analysis consumes — node-table slots and memoised operation
+//! steps — using a *sticky trip* in the style of CUDD's timeouts: the first
+//! check that fails latches [`BddError::BudgetExceeded`](crate::BddError)
+//! on the manager, and every subsequent `mk`/`ite`/`restrict` call
+//! short-circuits cheaply, returning dummy edges without allocating nodes
+//! or inserting cache entries. Callers run their operation sequence, then
+//! ask [`Manager::budget_exceeded`](crate::Manager::budget_exceeded)
+//! whether the results can be trusted.
+//!
+//! Because a tripped manager never allocates and never caches, everything
+//! in the unique table and op cache remains **exact**: after
+//! [`Manager::reset_budget_window`](crate::Manager::reset_budget_window)
+//! the manager is immediately reusable for the next analysis with no
+//! poisoned state to flush.
+
+/// Resource limits applied to a [`Manager`](crate::Manager).
+///
+/// The default is unlimited on both axes, which makes the budgeted code
+/// paths bit-identical to the historical unbudgeted behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use dp_bdd::{BudgetConfig, Manager};
+///
+/// let mut m = Manager::new(8);
+/// m.set_budget(BudgetConfig { max_nodes: Some(4), ..BudgetConfig::UNLIMITED });
+/// let vars: Vec<_> = (0..8).map(|v| m.var(v)).collect();
+/// let _parity = vars.iter().fold(m.constant(false), |acc, &v| m.xor(acc, v));
+/// assert!(m.budget_exceeded().is_some(), "8-var parity needs > 4 nodes");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BudgetConfig {
+    /// Maximum node-table length (terminal included). `mk` trips the budget
+    /// instead of allocating past this; hash-cons hits on existing nodes are
+    /// always free.
+    pub max_nodes: Option<usize>,
+    /// Maximum memoised operation steps (recursive `ite`/`restrict` calls)
+    /// per budget window (see
+    /// [`Manager::reset_budget_window`](crate::Manager::reset_budget_window)).
+    pub max_op_steps: Option<u64>,
+}
+
+impl BudgetConfig {
+    /// No limits — the behaviour of a manager that never heard of budgets.
+    pub const UNLIMITED: BudgetConfig = BudgetConfig {
+        max_nodes: None,
+        max_op_steps: None,
+    };
+
+    /// A budget limited only by node-table size.
+    pub fn with_max_nodes(max_nodes: usize) -> Self {
+        BudgetConfig {
+            max_nodes: Some(max_nodes),
+            max_op_steps: None,
+        }
+    }
+
+    /// A budget limited only by operation steps.
+    pub fn with_max_op_steps(max_op_steps: u64) -> Self {
+        BudgetConfig {
+            max_nodes: None,
+            max_op_steps: Some(max_op_steps),
+        }
+    }
+
+    /// `true` when no limit is set on either axis.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_nodes.is_none() && self.max_op_steps.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unlimited() {
+        assert!(BudgetConfig::default().is_unlimited());
+        assert_eq!(BudgetConfig::default(), BudgetConfig::UNLIMITED);
+    }
+
+    #[test]
+    fn constructors_set_one_axis() {
+        let n = BudgetConfig::with_max_nodes(10);
+        assert_eq!(n.max_nodes, Some(10));
+        assert!(n.max_op_steps.is_none());
+        assert!(!n.is_unlimited());
+        let s = BudgetConfig::with_max_op_steps(99);
+        assert_eq!(s.max_op_steps, Some(99));
+        assert!(s.max_nodes.is_none());
+        assert!(!s.is_unlimited());
+    }
+}

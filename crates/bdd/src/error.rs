@@ -10,6 +10,16 @@ use std::fmt;
 pub enum BddError {
     /// The supplied variable order is not a permutation of `0..n`.
     InvalidOrder,
+    /// A [`BudgetConfig`](crate::BudgetConfig) limit tripped mid-operation;
+    /// the fields snapshot the manager at the moment of the trip. Results
+    /// computed in the same budget window are unreliable and must be
+    /// discarded (nodes allocated *before* the trip stay exact).
+    BudgetExceeded {
+        /// Node-table length when the budget tripped.
+        nodes: usize,
+        /// Operation steps consumed in the window when the budget tripped.
+        op_steps: u64,
+    },
 }
 
 impl fmt::Display for BddError {
@@ -17,6 +27,12 @@ impl fmt::Display for BddError {
         match self {
             BddError::InvalidOrder => {
                 write!(f, "variable order is not a permutation of 0..n")
+            }
+            BddError::BudgetExceeded { nodes, op_steps } => {
+                write!(
+                    f,
+                    "work budget exceeded at {nodes} nodes / {op_steps} op steps"
+                )
             }
         }
     }
@@ -30,8 +46,19 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_without_period() {
-        let msg = BddError::InvalidOrder.to_string();
-        assert!(msg.starts_with(char::is_lowercase));
-        assert!(!msg.ends_with('.'));
+        for e in [
+            BddError::InvalidOrder,
+            BddError::BudgetExceeded { nodes: 7, op_steps: 42 },
+        ] {
+            let msg = e.to_string();
+            assert!(msg.starts_with(char::is_lowercase), "{msg}");
+            assert!(!msg.ends_with('.'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn budget_display_carries_the_counters() {
+        let msg = BddError::BudgetExceeded { nodes: 7, op_steps: 42 }.to_string();
+        assert!(msg.contains('7') && msg.contains("42"), "{msg}");
     }
 }

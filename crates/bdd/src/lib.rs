@@ -31,6 +31,7 @@
 //! assert_eq!(m.density(f), 0.5);
 //! ```
 
+mod budget;
 mod count;
 mod cubes;
 mod error;
@@ -40,6 +41,7 @@ mod order;
 mod reorder;
 mod stats;
 
+pub use budget::BudgetConfig;
 pub use cubes::{Cube, Cubes, Minterms};
 pub use error::BddError;
 pub use manager::{Manager, NodeId, Remap, Var};

@@ -27,6 +27,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
+use crate::budget::BudgetConfig;
 use crate::error::BddError;
 use crate::ops::OpKey;
 use crate::stats::ManagerStats;
@@ -154,6 +155,13 @@ pub struct Manager {
     /// `level_to_var[l]` is the variable sitting at position `l`.
     level_to_var: Vec<Var>,
     pub(crate) stats: ManagerStats,
+    /// Active work budget; unlimited by default.
+    budget: BudgetConfig,
+    /// Operation steps consumed since the last budget-window reset.
+    op_steps: u64,
+    /// The sticky trip: set by the first budget check that fails, cleared
+    /// only by [`Manager::reset_budget_window`]/[`Manager::set_budget`].
+    tripped: Option<BddError>,
 }
 
 impl Manager {
@@ -172,6 +180,9 @@ impl Manager {
             var_to_level: (0..num_vars as u32).collect(),
             level_to_var: (0..num_vars as u32).collect(),
             stats: ManagerStats::default(),
+            budget: BudgetConfig::UNLIMITED,
+            op_steps: 0,
+            tripped: None,
         };
         // Slot 0 is the single terminal (constant 1); its stored fields are
         // never read through the usual paths but keep indices aligned.
@@ -335,7 +346,27 @@ impl Manager {
     /// applying the reduction rule `lo == hi ⇒ lo`, the complement-edge
     /// normalisation (hi must be regular: if it is not, both children are
     /// flipped and the returned edge is complemented), and hash-consing.
+    ///
+    /// Budget-checked: on a tripped manager this returns a dummy edge
+    /// without touching the node table; a unique-table miss that would grow
+    /// the table past [`BudgetConfig::max_nodes`] trips the budget instead
+    /// of allocating (hash-cons hits are always free).
     pub(crate) fn mk(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        if self.tripped.is_some() {
+            return NodeId::TRUE;
+        }
+        self.mk_impl(var, lo, hi, true)
+    }
+
+    /// Budget-exempt `mk` for the in-place reorder rewrites, which must
+    /// never observe a dummy edge: a half-rewritten level would corrupt
+    /// the node table. Sifting cost is bounded structurally instead (it
+    /// only re-expresses nodes that already exist).
+    pub(crate) fn mk_raw(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        self.mk_impl(var, lo, hi, false)
+    }
+
+    fn mk_impl(&mut self, var: Var, lo: NodeId, hi: NodeId, budgeted: bool) -> NodeId {
         if lo == hi {
             return lo;
         }
@@ -350,6 +381,14 @@ impl Manager {
             self.stats.unique.hit();
             id
         } else {
+            if budgeted
+                && self.budget.max_nodes.is_some_and(|max| self.nodes.len() >= max)
+            {
+                // Trip before counting the miss or allocating, so the stats
+                // invariant `peak_nodes ≤ 1 + unique.misses` is untouched.
+                self.trip();
+                return NodeId::TRUE;
+            }
             self.stats.unique.miss();
             let id = NodeId::from_index(self.nodes.len());
             self.nodes.push(node);
@@ -362,6 +401,71 @@ impl Manager {
         } else {
             id
         }
+    }
+
+    /// Installs a work budget and starts a fresh budget window (any pending
+    /// trip is cleared, the op-step counter restarts at zero).
+    pub fn set_budget(&mut self, budget: BudgetConfig) {
+        self.budget = budget;
+        self.reset_budget_window();
+    }
+
+    /// The currently installed work budget.
+    pub fn budget(&self) -> BudgetConfig {
+        self.budget
+    }
+
+    /// The sticky budget trip, if any check has failed since the last
+    /// window reset. While this is `Some`, every edge returned by an
+    /// operation is an untrustworthy dummy; results produced in the same
+    /// window must be discarded. Node and cache contents stay exact (a
+    /// tripped manager neither allocates nor caches), so recovery is just
+    /// [`Manager::reset_budget_window`].
+    pub fn budget_exceeded(&self) -> Option<BddError> {
+        self.tripped
+    }
+
+    /// Clears a pending budget trip and restarts the op-step counter —
+    /// the per-analysis reset point for engines that apply one budget
+    /// window per fault.
+    pub fn reset_budget_window(&mut self) {
+        self.tripped = None;
+        self.op_steps = 0;
+    }
+
+    /// Operation steps consumed in the current budget window.
+    pub fn op_steps(&self) -> u64 {
+        self.op_steps
+    }
+
+    fn trip(&mut self) {
+        if self.tripped.is_none() {
+            self.tripped = Some(BddError::BudgetExceeded {
+                nodes: self.nodes.len(),
+                op_steps: self.op_steps,
+            });
+        }
+    }
+
+    /// Counts one memoised operation step against the budget. Returns
+    /// `true` when the caller must bail out with a dummy result (the
+    /// manager is — or just became — tripped).
+    pub(crate) fn charge_op_step(&mut self) -> bool {
+        if self.tripped.is_some() {
+            return true;
+        }
+        self.op_steps += 1;
+        if self.budget.max_op_steps.is_some_and(|max| self.op_steps > max) {
+            self.trip();
+            return true;
+        }
+        false
+    }
+
+    /// `true` while a budget trip is pending (ops use this to skip cache
+    /// inserts of dummy results).
+    pub(crate) fn budget_tripped(&self) -> bool {
+        self.tripped.is_some()
     }
 
     /// Evaluates the function under a complete assignment

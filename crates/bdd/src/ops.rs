@@ -158,6 +158,11 @@ impl Manager {
     /// connective the user actually called (the cache *entries* themselves
     /// are connective-agnostic standard triples).
     fn ite_with(&mut self, f: NodeId, g: NodeId, h: NodeId, kind: OpKind) -> NodeId {
+        // Budget: one op step per recursive call; a tripped manager
+        // short-circuits with a dummy edge (see the `budget` module).
+        if self.charge_op_step() {
+            return NodeId::TRUE;
+        }
         // Constant selector.
         if f.is_true() {
             return g;
@@ -261,7 +266,11 @@ impl Manager {
         let lo = self.ite_with(f0, g0, h0, kind);
         let hi = self.ite_with(f1, g1, h1, kind);
         let r = self.mk(var, lo, hi);
-        self.op_cache.insert(key, r);
+        // A result assembled after a trip is a dummy; caching it would
+        // poison future (untripped) lookups.
+        if !self.budget_tripped() {
+            self.op_cache.insert(key, r);
+        }
         if flip {
             r.complemented()
         } else {
@@ -290,6 +299,9 @@ impl Manager {
 
     fn restrict_regular(&mut self, f: NodeId, v: Var, value: bool) -> NodeId {
         debug_assert!(!f.is_complemented());
+        if self.charge_op_step() {
+            return f;
+        }
         if f.is_terminal() {
             return f;
         }
@@ -318,7 +330,9 @@ impl Manager {
             let nhi = self.restrict(hi, v, value);
             self.mk(var, nlo, nhi)
         };
-        self.op_cache.insert(key, r);
+        if !self.budget_tripped() {
+            self.op_cache.insert(key, r);
+        }
         r
     }
 
@@ -341,7 +355,9 @@ impl Manager {
             let f0 = self.restrict(f, v, false);
             let f1 = self.restrict(f, v, true);
             let r = self.ite(g, f1, f0);
-            self.op_cache.insert(key, r);
+            if !self.budget_tripped() {
+                self.op_cache.insert(key, r);
+            }
             r
         };
         if flip {
@@ -420,12 +436,14 @@ impl Manager {
             };
         }
         if let Some(mask) = mask {
-            let key = if existential {
-                OpKey::Exists(f, mask)
-            } else {
-                OpKey::Forall(f, mask)
-            };
-            self.op_cache.insert(key, r);
+            if !self.budget_tripped() {
+                let key = if existential {
+                    OpKey::Exists(f, mask)
+                } else {
+                    OpKey::Forall(f, mask)
+                };
+                self.op_cache.insert(key, r);
+            }
         }
         r
     }

@@ -66,8 +66,11 @@ impl Manager {
             // regular), so `hi` below never complement-normalises: the
             // rewritten node keeps a regular hi edge and the in-place
             // identity F(idx) is preserved exactly.
-            let hi = self.mk(u, f01, f11);
-            let lo = self.mk(u, f00, f10);
+            // Budget-exempt `mk_raw`: a budget trip mid-swap would leave the
+            // level half-rewritten with dummy edges — the table must stay
+            // canonical whatever the budget state.
+            let hi = self.mk_raw(u, f01, f11);
+            let lo = self.mk_raw(u, f00, f10);
             debug_assert!(!hi.is_complemented(), "swap lost the hi-edge invariant");
             debug_assert_ne!(hi, lo, "a v-dependent node cannot lose v");
             let old = self.nodes[idx];

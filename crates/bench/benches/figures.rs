@@ -24,6 +24,7 @@ fn cfg() -> ExperimentConfig {
         // Serial unless DP_BENCH_THREADS=N opts a run into sharded sweeps;
         // the figure series themselves are identical either way.
         parallelism: dp_bench::parallelism_from_env(),
+        ..Default::default()
     }
 }
 

@@ -3,11 +3,12 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use dp_bdd::{Cube, NodeId};
+use dp_bdd::{BudgetConfig, Cube, NodeId};
 use dp_faults::{BridgeKind, Fault, FaultSite, StuckAtFault};
 use dp_netlist::{Circuit, Driver, NetId};
 
 use crate::delta::{delta_output, naive_delta_output};
+use crate::error::AnalysisError;
 use crate::good::GoodFunctions;
 
 /// Tuning knobs for [`DiffProp`] — the defaults reproduce the paper's
@@ -34,6 +35,12 @@ pub struct EngineConfig {
     /// analysis results (only `NodeId` handles and cache state); set it to
     /// `f64::INFINITY` to restore threshold-only behaviour.
     pub gc_growth: f64,
+    /// Work budget for the BDD manager. Only the fallible entry points
+    /// ([`DiffProp::try_analyze`], [`DiffProp::try_analyze_multi_stuck_at`],
+    /// [`DiffProp::try_with_config`]) honour it — the infallible methods
+    /// temporarily lift it so their answers stay exact. The default,
+    /// [`BudgetConfig::UNLIMITED`], reproduces unbounded behaviour.
+    pub budget: BudgetConfig,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +50,7 @@ impl Default for EngineConfig {
             table1: true,
             gc_threshold: 2_000_000,
             gc_growth: 4.0,
+            budget: BudgetConfig::UNLIMITED,
         }
     }
 }
@@ -127,10 +135,10 @@ impl MultiFaultAnalysis {
 struct SiteInit {
     /// Net-level pinned differences, keyed by net index.
     deltas: HashMap<usize, NodeId>,
-    /// Pin-level pinned differences: (sink gate index, pin, delta).
-    branch_deltas: Vec<(usize, usize, NodeId)>,
+    /// Pin-level pinned differences, keyed by (sink gate index, pin).
+    branch_deltas: HashMap<(usize, usize), NodeId>,
     /// Nets whose differences must never be recomputed.
-    site_nets: Vec<usize>,
+    site_nets: BTreeSet<usize>,
     /// Gates awaiting processing, in topological (index) order.
     worklist: BTreeSet<usize>,
 }
@@ -158,8 +166,13 @@ impl<'c> DiffProp<'c> {
     }
 
     /// Creates an analyser with an explicit configuration.
+    ///
+    /// The good functions are built *without* a budget (construction cannot
+    /// fail), then [`EngineConfig::budget`] is armed for subsequent fallible
+    /// analyses. Use [`DiffProp::try_with_config`] to bound the build too.
     pub fn with_config(circuit: &'c Circuit, config: EngineConfig) -> Self {
-        let good = GoodFunctions::build(circuit);
+        let mut good = GoodFunctions::build(circuit);
+        good.manager_mut().set_budget(config.budget);
         let gc_baseline = good.num_nodes();
         DiffProp {
             circuit,
@@ -167,6 +180,27 @@ impl<'c> DiffProp<'c> {
             config,
             gc_baseline,
         }
+    }
+
+    /// Creates an analyser with an explicit configuration, honouring
+    /// [`EngineConfig::budget`] already during the good-function build.
+    ///
+    /// Returns [`AnalysisError::BudgetExceeded`] when the circuit's good
+    /// functions alone exceed the budget — analysis cannot even start, and
+    /// the caller should fall back to simulation for the whole circuit.
+    pub fn try_with_config(
+        circuit: &'c Circuit,
+        config: EngineConfig,
+    ) -> Result<Self, AnalysisError> {
+        let good = GoodFunctions::try_build(circuit, config.budget)
+            .map_err(AnalysisError::BudgetExceeded)?;
+        let gc_baseline = good.num_nodes();
+        Ok(DiffProp {
+            circuit,
+            good,
+            config,
+            gc_baseline,
+        })
     }
 
     /// Creates an analyser around pre-built good functions (e.g. with a
@@ -218,11 +252,34 @@ impl<'c> DiffProp<'c> {
     /// propagates them to the primary outputs, producing the complete test
     /// set and the exact metrics.
     ///
+    /// Always exact: any configured [`EngineConfig::budget`] is lifted for
+    /// the duration of the call and re-armed afterwards, so this never
+    /// degrades an answer (it may run unboundedly long instead — use
+    /// [`DiffProp::try_analyze`] for bounded behaviour).
+    ///
     /// Any `NodeId` in a previously returned [`FaultAnalysis`] may be
     /// invalidated by this call (the engine garbage-collects when past
     /// [`EngineConfig::gc_threshold`]).
     pub fn analyze(&mut self, fault: &Fault) -> FaultAnalysis {
+        let saved = self.good.manager().budget();
+        self.good.manager_mut().set_budget(BudgetConfig::UNLIMITED);
+        let analysis = self
+            .try_analyze(fault)
+            .expect("unlimited budget cannot trip");
+        self.good.manager_mut().set_budget(saved);
+        analysis
+    }
+
+    /// Budget-honouring variant of [`DiffProp::analyze`].
+    ///
+    /// Under the configured [`EngineConfig::budget`] this either returns an
+    /// analysis **bit-identical** to the unbudgeted engine's, or
+    /// [`AnalysisError::BudgetExceeded`] — never a silently wrong answer.
+    /// After an error the engine has recovered (good functions collected,
+    /// budget window reset) and is immediately reusable for the next fault.
+    pub fn try_analyze(&mut self, fault: &Fault) -> Result<FaultAnalysis, AnalysisError> {
         self.maybe_gc();
+        self.good.manager_mut().reset_budget_window();
 
         // 1. Initialise site differences.
         let mut init = SiteInit::default();
@@ -245,8 +302,8 @@ impl<'c> DiffProp<'c> {
                 let db = m.xor(fb, wired);
                 init.deltas.insert(f.a.index(), da);
                 init.deltas.insert(f.b.index(), db);
-                init.site_nets.push(f.a.index());
-                init.site_nets.push(f.b.index());
+                init.site_nets.insert(f.a.index());
+                init.site_nets.insert(f.b.index());
                 for n in [f.a, f.b] {
                     for &(sink, _) in self.circuit.fanout(n) {
                         init.worklist.insert(sink.index());
@@ -257,7 +314,10 @@ impl<'c> DiffProp<'c> {
 
         let (po_deltas, test_set, detectability, test_count, observable_outputs) =
             self.propagate(init);
-        FaultAnalysis {
+        if let Some(err) = self.check_budget() {
+            return Err(err);
+        }
+        Ok(FaultAnalysis {
             fault: *fault,
             po_deltas,
             test_set,
@@ -265,7 +325,19 @@ impl<'c> DiffProp<'c> {
             test_count,
             observable_outputs,
             site_function_constant,
-        }
+        })
+    }
+
+    /// Post-analysis budget check and recovery. A tripped manager never
+    /// allocates nodes or caches results, so every function it still holds
+    /// is exact; recovery is just dropping the abandoned intermediates and
+    /// opening a fresh window.
+    fn check_budget(&mut self) -> Option<AnalysisError> {
+        let err = self.good.manager().budget_exceeded()?;
+        self.good.manager_mut().reset_budget_window();
+        self.good.gc();
+        self.gc_baseline = self.good.num_nodes();
+        Some(AnalysisError::BudgetExceeded(err))
     }
 
     /// Analyses a **multiple stuck-at fault**: all `components` present
@@ -298,6 +370,28 @@ impl<'c> DiffProp<'c> {
     /// assert!(multi.detectability <= 1.0);
     /// ```
     pub fn analyze_multi_stuck_at(&mut self, components: &[StuckAtFault]) -> MultiFaultAnalysis {
+        let saved = self.good.manager().budget();
+        self.good.manager_mut().set_budget(BudgetConfig::UNLIMITED);
+        let analysis = self
+            .try_analyze_multi_stuck_at(components)
+            .expect("unlimited budget cannot trip");
+        self.good.manager_mut().set_budget(saved);
+        analysis
+    }
+
+    /// Budget-honouring variant of [`DiffProp::analyze_multi_stuck_at`]:
+    /// either bit-identical to the unbudgeted engine or
+    /// [`AnalysisError::BudgetExceeded`], with the engine recovered and
+    /// reusable after an error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `components` is empty or lists the same site twice (a
+    /// programming error, not a resource condition).
+    pub fn try_analyze_multi_stuck_at(
+        &mut self,
+        components: &[StuckAtFault],
+    ) -> Result<MultiFaultAnalysis, AnalysisError> {
         assert!(!components.is_empty(), "a multiple fault needs components");
         for (i, a) in components.iter().enumerate() {
             for b in &components[i + 1..] {
@@ -305,20 +399,24 @@ impl<'c> DiffProp<'c> {
             }
         }
         self.maybe_gc();
+        self.good.manager_mut().reset_budget_window();
         let mut init = SiteInit::default();
         for f in components {
             self.init_stuck_at(f, &mut init);
         }
         let (po_deltas, test_set, detectability, test_count, observable_outputs) =
             self.propagate(init);
-        MultiFaultAnalysis {
+        if let Some(err) = self.check_budget() {
+            return Err(err);
+        }
+        Ok(MultiFaultAnalysis {
             components: components.to_vec(),
             po_deltas,
             test_set,
             detectability,
             test_count,
             observable_outputs,
-        }
+        })
     }
 
     /// Adds one stuck-at component's pinned difference to a site
@@ -333,7 +431,7 @@ impl<'c> DiffProp<'c> {
         match f.site {
             FaultSite::Net(n) => {
                 init.deltas.insert(n.index(), delta);
-                init.site_nets.push(n.index());
+                init.site_nets.insert(n.index());
                 for &(sink, _) in self.circuit.fanout(n) {
                     init.worklist.insert(sink.index());
                 }
@@ -341,7 +439,7 @@ impl<'c> DiffProp<'c> {
                 // observable; po_deltas picks it up from the map.
             }
             FaultSite::Branch(b) => {
-                init.branch_deltas.push((b.sink.index(), b.pin, delta));
+                init.branch_deltas.insert((b.sink.index(), b.pin), delta);
                 init.worklist.insert(b.sink.index());
             }
         }
@@ -377,12 +475,11 @@ impl<'c> DiffProp<'c> {
             for (pin, f) in fanins.iter().enumerate() {
                 goods_buf.push(self.good.node(*f));
                 // A pinned branch overrides whatever its stem carries.
-                let branch = branch_deltas
-                    .iter()
-                    .find(|&&(sink, p, _)| sink == idx && p == pin)
-                    .map(|&(_, _, d)| d);
-                let d = branch
-                    .unwrap_or_else(|| deltas.get(&f.index()).copied().unwrap_or(NodeId::FALSE));
+                let d = branch_deltas
+                    .get(&(idx, pin))
+                    .or_else(|| deltas.get(&f.index()))
+                    .copied()
+                    .unwrap_or(NodeId::FALSE);
                 deltas_buf.push(d);
             }
             if self.config.selective_trace && deltas_buf.iter().all(|d| d.is_false()) {
@@ -394,15 +491,13 @@ impl<'c> DiffProp<'c> {
             } else {
                 naive_delta_output(m, *kind, &goods_buf, &deltas_buf)
             };
+            // Selective trace stops the frontier at zero differences; with
+            // it off, the whole fanout cone is processed (the exhaustive
+            // alternative the paper's §3 improves on).
             if !dg.is_false() || !self.config.selective_trace {
                 deltas.insert(idx, dg);
-                // Selective trace stops the frontier at zero differences;
-                // with it off, the whole fanout cone is processed (the
-                // exhaustive alternative the paper's §3 improves on).
-                if !dg.is_false() || !self.config.selective_trace {
-                    for &(sink, _) in circuit.fanout(net) {
-                        worklist.insert(sink.index());
-                    }
+                for &(sink, _) in circuit.fanout(net) {
+                    worklist.insert(sink.index());
                 }
             }
         }
@@ -797,6 +892,101 @@ mod tests {
             let b1 = dp.detectability_bound(&f1).unwrap();
             assert!((b0 + b1 - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn try_analyze_is_exact_or_err_and_the_engine_recovers() {
+        let c = c95();
+        let faults: Vec<Fault> = checkpoint_faults(&c).into_iter().map(Fault::from).collect();
+        let mut reference = DiffProp::new(&c);
+        // Generous enough to build the good functions, tight enough that
+        // some analyses trip (found by scanning budgets if none does).
+        for max_nodes in [600, 900, 1500] {
+            let config = EngineConfig {
+                budget: BudgetConfig::with_max_nodes(max_nodes),
+                ..Default::default()
+            };
+            let Ok(mut dp) = DiffProp::try_with_config(&c, config) else {
+                continue;
+            };
+            for fault in &faults {
+                match dp.try_analyze(fault) {
+                    Ok(a) => {
+                        let exact = reference.analyze(fault);
+                        assert_eq!(
+                            a.test_count, exact.test_count,
+                            "budgeted Ok must be bit-identical ({fault})"
+                        );
+                        assert_eq!(
+                            a.detectability.to_bits(),
+                            exact.detectability.to_bits()
+                        );
+                        assert_eq!(a.observable_outputs, exact.observable_outputs);
+                    }
+                    Err(AnalysisError::BudgetExceeded(_)) => {
+                        // The engine must be reusable: the infallible path
+                        // still produces the exact answer afterwards.
+                        let after = dp.analyze(fault);
+                        let exact = reference.analyze(fault);
+                        assert_eq!(after.test_count, exact.test_count, "{fault}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_with_config_rejects_impossible_budgets() {
+        let c = c95();
+        let config = EngineConfig {
+            budget: BudgetConfig::with_max_nodes(4),
+            ..Default::default()
+        };
+        match DiffProp::try_with_config(&c, config) {
+            Err(AnalysisError::BudgetExceeded(e)) => {
+                assert!(e.to_string().contains("budget"), "{e}");
+            }
+            Ok(_) => panic!("c95 good functions cannot fit in 4 nodes"),
+        }
+    }
+
+    #[test]
+    fn infallible_analyze_ignores_the_configured_budget() {
+        let c = c17();
+        let config = EngineConfig {
+            budget: BudgetConfig::with_max_op_steps(1),
+            ..Default::default()
+        };
+        // with_config builds unbudgeted, so construction succeeds; analyze
+        // lifts the (absurd) budget for the duration of each call.
+        let mut dp = DiffProp::with_config(&c, config);
+        let mut reference = DiffProp::new(&c);
+        for f in checkpoint_faults(&c) {
+            let fault = Fault::from(f);
+            assert!(dp.try_analyze(&fault).is_err(), "1 op step must trip");
+            let a = dp.analyze(&fault);
+            let e = reference.analyze(&fault);
+            assert_eq!(a.test_count, e.test_count, "{fault}");
+        }
+    }
+
+    #[test]
+    fn try_analyze_multi_stuck_at_recovers_like_the_single_path() {
+        let c = c95();
+        let faults = checkpoint_faults(&c);
+        let pair = [faults[0], faults[3]];
+        let config = EngineConfig {
+            budget: BudgetConfig::with_max_op_steps(2),
+            ..Default::default()
+        };
+        let mut dp = DiffProp::with_config(&c, config);
+        assert!(matches!(
+            dp.try_analyze_multi_stuck_at(&pair),
+            Err(AnalysisError::BudgetExceeded(_))
+        ));
+        let exact = DiffProp::new(&c).analyze_multi_stuck_at(&pair);
+        let after = dp.analyze_multi_stuck_at(&pair);
+        assert_eq!(after.test_count, exact.test_count);
     }
 
     #[test]

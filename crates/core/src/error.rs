@@ -1,0 +1,50 @@
+//! Errors for the fallible analysis entry points.
+
+use std::fmt;
+
+use dp_bdd::BddError;
+
+/// Why a fallible analysis ([`DiffProp::try_analyze`] and friends) could not
+/// produce an exact answer.
+///
+/// [`DiffProp::try_analyze`]: crate::DiffProp::try_analyze
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The BDD manager's work budget ([`dp_bdd::BudgetConfig`]) tripped
+    /// before the analysis finished. The engine has already recovered: the
+    /// good functions are intact and the next analysis starts with a fresh
+    /// budget window.
+    BudgetExceeded(BddError),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::BudgetExceeded(e) => write!(f, "analysis abandoned: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::BudgetExceeded(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_budget_snapshot() {
+        let e = AnalysisError::BudgetExceeded(BddError::BudgetExceeded {
+            nodes: 7,
+            op_steps: 11,
+        });
+        let msg = e.to_string();
+        assert!(msg.contains('7') && msg.contains("11"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,6 +1,6 @@
 //! Good (fault-free) net functions as OBDDs, plus syndromes.
 
-use dp_bdd::{Manager, NodeId, Var};
+use dp_bdd::{BddError, BudgetConfig, Manager, NodeId, Var};
 use dp_netlist::{Circuit, Driver, GateKind, NetId};
 
 /// The fault-free Boolean function of every net of a circuit, built once and
@@ -59,8 +59,16 @@ impl GoodFunctions {
     /// Builds the good functions with the declared-input-order variable
     /// assignment.
     pub fn build(circuit: &Circuit) -> Self {
+        Self::try_build(circuit, BudgetConfig::UNLIMITED).expect("unlimited budget cannot trip")
+    }
+
+    /// Builds the good functions under a work budget, with the
+    /// declared-input-order variable assignment. Returns
+    /// [`BddError::BudgetExceeded`] instead of growing without bound when
+    /// the budget trips mid-build.
+    pub fn try_build(circuit: &Circuit, budget: BudgetConfig) -> Result<Self, BddError> {
         let order: Vec<Var> = (0..circuit.num_inputs() as Var).collect();
-        Self::build_with_order(circuit, &order)
+        Self::try_build_with_order(circuit, &order, budget)
     }
 
     /// Builds the good functions with an explicit variable order: `order[l]`
@@ -71,8 +79,25 @@ impl GoodFunctions {
     ///
     /// Panics if `order` is not a permutation of `0..num_inputs()`.
     pub fn build_with_order(circuit: &Circuit, order: &[Var]) -> Self {
+        Self::try_build_with_order(circuit, order, BudgetConfig::UNLIMITED)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// Budgeted variant of [`GoodFunctions::build_with_order`]. The returned
+    /// manager keeps `budget` armed (with a fresh window) so subsequent
+    /// analyses are bounded by the same configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_inputs()`.
+    pub fn try_build_with_order(
+        circuit: &Circuit,
+        order: &[Var],
+        budget: BudgetConfig,
+    ) -> Result<Self, BddError> {
         assert_eq!(order.len(), circuit.num_inputs(), "order length mismatch");
         let mut manager = Manager::with_order(order).expect("order must be a permutation");
+        manager.set_budget(budget);
         let mut funcs = vec![NodeId::FALSE; circuit.num_nets()];
         for (i, &pi) in circuit.inputs().iter().enumerate() {
             funcs[pi.index()] = manager.var(i as Var);
@@ -83,11 +108,15 @@ impl GoodFunctions {
                 funcs[n.index()] = build_gate(&mut manager, *kind, &inputs);
             }
         }
-        GoodFunctions {
+        if let Some(err) = manager.budget_exceeded() {
+            return Err(err);
+        }
+        manager.reset_budget_window();
+        Ok(GoodFunctions {
             manager,
             funcs,
             cut_nets: Vec::new(),
-        }
+        })
     }
 
     /// The OBDD of a net's good function.

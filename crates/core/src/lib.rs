@@ -63,6 +63,7 @@ mod decomp;
 mod delta;
 mod dictionary;
 mod engine;
+mod error;
 mod good;
 mod observability;
 mod parallel;
@@ -71,8 +72,13 @@ mod redundancy;
 pub use atpg::{generate_tests, generate_tests_with, TestSet};
 pub use delta::{delta_output, naive_delta_output};
 pub use dictionary::{Candidate, FaultDictionary, Signature};
+pub use dp_bdd::BudgetConfig;
 pub use engine::{DiffProp, EngineConfig, FaultAnalysis, MultiFaultAnalysis};
+pub use error::AnalysisError;
 pub use good::GoodFunctions;
 pub use observability::Observability;
-pub use parallel::{analyze_universe, FaultSummary, Parallelism, ShardReport, SweepResult};
+pub use parallel::{
+    analyze_universe, analyze_universe_with, FallbackConfig, FaultOutcome, FaultSummary,
+    Parallelism, ShardReport, SweepResult,
+};
 pub use redundancy::{find_redundancies, RedundancyReport};

@@ -20,6 +20,30 @@
 //! which shard the fault landed in. The only sharding-visible artefacts are
 //! `NodeId` handles — which is why [`FaultSummary`] carries scalars only.
 //!
+//! The same holds for the degraded path: a fallback estimate is seeded per
+//! *global* fault index ([`FallbackConfig::seed`] `+ index`), so a
+//! [`FaultOutcome::Bounded`] summary is also identical across thread counts.
+//!
+//! # Panic isolation
+//!
+//! Workers run under [`std::panic::catch_unwind`]: a shard that panics
+//! (a buggy fault model, a poisoned circuit, an assertion deep in the
+//! engine) never takes the sweep down. Its [`ShardReport::panic`] carries
+//! the panic message, its summaries are omitted, and **every other shard's
+//! summaries are returned untouched** — [`SweepResult::summaries`] then
+//! covers the surviving shards' slices, still in input order. Callers that
+//! require full coverage check [`SweepResult::is_complete`].
+//!
+//! # Resource bounds and graceful degradation
+//!
+//! With a node/op budget in [`EngineConfig::budget`], a fault whose exact
+//! analysis trips the budget is *not* lost: the sweep falls back to the
+//! packed-parallel fault simulator ([`dp_sim`]) for a sampled detectability
+//! estimate, and the summary is marked [`FaultOutcome::Bounded`] with the
+//! sample count. Exact results are marked [`FaultOutcome::Exact`]. With the
+//! default unlimited budget every outcome is `Exact` and the results are
+//! byte-for-byte those of the pre-budget engine.
+//!
 //! # Examples
 //!
 //! ```
@@ -32,11 +56,15 @@
 //! let serial = analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Serial);
 //! let sharded = analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Threads(2));
 //! assert_eq!(serial.summaries, sharded.summaries);
+//! assert!(serial.is_complete());
 //! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dp_bdd::ManagerStats;
 use dp_faults::Fault;
 use dp_netlist::Circuit;
+use dp_sim::sampled_fault_estimate;
 
 use crate::engine::{DiffProp, EngineConfig};
 
@@ -70,6 +98,50 @@ impl Parallelism {
     }
 }
 
+/// How a fault's summary was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Difference Propagation completed: the detectability, test count and
+    /// observability flags are exact.
+    Exact,
+    /// The BDD work budget tripped; the summary holds a sampled estimate
+    /// from the packed fault simulator. `detectability` is a point estimate
+    /// over `samples` random vectors, `test_count` and `adherence` are
+    /// `None`, and the observability flags are lower bounds (an output seen
+    /// to differ is certainly observable; one never seen may still be).
+    Bounded {
+        /// Random vectors simulated for the estimate.
+        samples: u64,
+    },
+}
+
+impl FaultOutcome {
+    /// `true` for [`FaultOutcome::Exact`].
+    pub fn is_exact(self) -> bool {
+        matches!(self, FaultOutcome::Exact)
+    }
+}
+
+/// Configuration of the simulator fallback used when the budget trips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FallbackConfig {
+    /// Random vectors per estimated fault (rounded up to a multiple of 64,
+    /// the packed-simulation width).
+    pub samples: u64,
+    /// Base RNG seed; fault `i` (global index) uses `seed + i`, which makes
+    /// estimates independent of sharding and thread count.
+    pub seed: u64,
+}
+
+impl Default for FallbackConfig {
+    fn default() -> Self {
+        FallbackConfig {
+            samples: 4096,
+            seed: 1990, // the paper's publication year — any constant works
+        }
+    }
+}
+
 /// Per-fault scalar record produced by a sweep.
 ///
 /// Deliberately holds no `NodeId`s: scalars survive the worker's manager and
@@ -80,9 +152,12 @@ impl Parallelism {
 pub struct FaultSummary {
     /// The fault analysed.
     pub fault: Fault,
-    /// Exact detection probability `|test_set| / 2^n`.
+    /// Detection probability: exact (`|test_set| / 2^n`) for
+    /// [`FaultOutcome::Exact`], a sampled estimate for
+    /// [`FaultOutcome::Bounded`].
     pub detectability: f64,
-    /// Exact number of detecting vectors (circuits of ≤ 127 inputs).
+    /// Exact number of detecting vectors (circuits of ≤ 127 inputs);
+    /// `None` for bounded summaries.
     pub test_count: Option<u128>,
     /// Per-output observability flags, in primary-output order.
     pub observable_outputs: Vec<bool>,
@@ -90,8 +165,10 @@ pub struct FaultSummary {
     /// `true` for stuck-at faults).
     pub site_function_constant: bool,
     /// Detectability divided by its syndrome bound (`None` for undetectable
-    /// faults and for bridges without a defined bound).
+    /// faults, bridges without a defined bound, and bounded summaries).
     pub adherence: Option<f64>,
+    /// Whether this summary is exact or a budget-capped estimate.
+    pub outcome: FaultOutcome,
 }
 
 impl FaultSummary {
@@ -111,17 +188,26 @@ impl FaultSummary {
 pub struct ShardReport {
     /// Shard index in `0..shards` (shard order is fault order).
     pub shard: usize,
-    /// Number of faults this shard analysed.
+    /// Global index of the shard's first fault in the input slice.
+    pub first_fault: usize,
+    /// Number of faults assigned to this shard. All of them are summarised
+    /// unless [`ShardReport::panic`] is set, in which case none are.
     pub faults: usize,
-    /// Counters of the shard's private BDD manager at the end of its run.
+    /// Counters of the shard's private BDD manager at the end of its run
+    /// (default counters when the shard panicked or never built an engine).
     pub stats: ManagerStats,
+    /// The panic message, if this shard's worker panicked. Its faults have
+    /// no summaries; other shards are unaffected.
+    pub panic: Option<String>,
 }
 
 /// The merged outcome of a sweep: per-fault summaries in the original fault
 /// order plus one [`ShardReport`] per worker.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// One summary per input fault, in input order.
+    /// One summary per input fault of every non-panicked shard, in input
+    /// order. Equal in length to the input universe iff
+    /// [`SweepResult::is_complete`].
     pub summaries: Vec<FaultSummary>,
     /// One report per shard, in shard (= fault) order.
     pub shards: Vec<ShardReport>,
@@ -135,58 +221,125 @@ impl SweepResult {
             .iter()
             .fold(ManagerStats::default(), |acc, s| acc.merged(&s.stats))
     }
+
+    /// `true` when no shard panicked — every input fault has a summary.
+    pub fn is_complete(&self) -> bool {
+        self.shards.iter().all(|s| s.panic.is_none())
+    }
+
+    /// The shards that panicked (empty on a healthy sweep).
+    pub fn failed_shards(&self) -> Vec<&ShardReport> {
+        self.shards.iter().filter(|s| s.panic.is_some()).collect()
+    }
+
+    /// Number of summaries that are budget-capped estimates.
+    pub fn num_bounded(&self) -> usize {
+        self.summaries
+            .iter()
+            .filter(|s| !s.outcome.is_exact())
+            .count()
+    }
 }
 
 /// Analyses every fault in `faults` against `circuit`, sharded according to
 /// `parallelism`, and returns summaries **in the input fault order**.
 ///
-/// Each shard builds its own [`GoodFunctions`](crate::GoodFunctions) once and
-/// reuses them for all its faults, exactly like a serial [`DiffProp`] would;
-/// `Parallelism::Serial` runs the identical single-shard code path on the
-/// calling thread. Results are bit-identical across all `parallelism`
-/// settings (see the module docs).
+/// Equivalent to [`analyze_universe_with`] under the default
+/// [`FallbackConfig`]. With the default unlimited
+/// [`EngineConfig::budget`] every summary is exact and the fallback is
+/// never consulted.
 pub fn analyze_universe(
     circuit: &Circuit,
     faults: &[Fault],
     config: EngineConfig,
     parallelism: Parallelism,
 ) -> SweepResult {
+    analyze_universe_with(circuit, faults, config, parallelism, FallbackConfig::default())
+}
+
+/// Analyses every fault in `faults` against `circuit`, sharded according to
+/// `parallelism`, with an explicit simulator-fallback configuration.
+///
+/// Each shard builds its own [`GoodFunctions`](crate::GoodFunctions) once and
+/// reuses them for all its faults, exactly like a serial [`DiffProp`] would;
+/// `Parallelism::Serial` runs the identical single-shard code path on the
+/// calling thread. Results are bit-identical across all `parallelism`
+/// settings (see the module docs).
+///
+/// This function does not panic on worker failure: shard panics are caught
+/// and reported per shard, and budget trips degrade per fault to sampled
+/// estimates (see the module docs on panic isolation and degradation).
+pub fn analyze_universe_with(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: EngineConfig,
+    parallelism: Parallelism,
+    fallback: FallbackConfig,
+) -> SweepResult {
     let shards = parallelism.shards_for(faults.len());
     let chunk_len = faults.len().div_ceil(shards);
     if shards <= 1 {
-        let (summaries, stats) = analyze_shard(circuit, faults, config);
-        return SweepResult {
-            summaries,
-            shards: vec![ShardReport {
-                shard: 0,
-                faults: faults.len(),
-                stats,
-            }],
-        };
+        let outcome = run_shard_caught(circuit, faults, 0, config, fallback);
+        return merge_shards(faults.len(), vec![(0, faults.len(), outcome)]);
     }
 
-    let chunks: Vec<&[Fault]> = faults.chunks(chunk_len).collect();
-    let per_shard: Vec<(Vec<FaultSummary>, ManagerStats)> = std::thread::scope(|scope| {
+    let chunks: Vec<(usize, &[Fault])> = faults
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(i, chunk)| (i * chunk_len, chunk))
+        .collect();
+    let per_shard: Vec<(usize, usize, ShardOutcome)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
-            .map(|&chunk| scope.spawn(move || analyze_shard(circuit, chunk, config)))
+            .map(|&(first, chunk)| {
+                let handle =
+                    scope.spawn(move || run_shard_caught(circuit, chunk, first, config, fallback));
+                (first, chunk.len(), handle)
+            })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|(first, len, h)| {
+                // run_shard_caught already absorbs engine panics; join only
+                // fails if the catch machinery itself unwound.
+                let outcome = h
+                    .join()
+                    .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
+                (first, len, outcome)
+            })
             .collect()
     });
+    merge_shards(faults.len(), per_shard)
+}
 
-    // Contiguous chunks merged in shard order reconstruct the input order.
-    let mut summaries = Vec::with_capacity(faults.len());
+type ShardOutcome = Result<(Vec<FaultSummary>, ManagerStats), String>;
+
+/// Contiguous chunks merged in shard order reconstruct the input order;
+/// panicked shards contribute a report (with the message) but no summaries.
+fn merge_shards(universe: usize, per_shard: Vec<(usize, usize, ShardOutcome)>) -> SweepResult {
+    let mut summaries = Vec::with_capacity(universe);
     let mut reports = Vec::with_capacity(per_shard.len());
-    for (shard, (shard_summaries, stats)) in per_shard.into_iter().enumerate() {
-        reports.push(ShardReport {
-            shard,
-            faults: shard_summaries.len(),
-            stats,
-        });
-        summaries.extend(shard_summaries);
+    for (shard, (first_fault, assigned, outcome)) in per_shard.into_iter().enumerate() {
+        match outcome {
+            Ok((shard_summaries, stats)) => {
+                debug_assert_eq!(shard_summaries.len(), assigned);
+                reports.push(ShardReport {
+                    shard,
+                    first_fault,
+                    faults: assigned,
+                    stats,
+                    panic: None,
+                });
+                summaries.extend(shard_summaries);
+            }
+            Err(message) => reports.push(ShardReport {
+                shard,
+                first_fault,
+                faults: assigned,
+                stats: ManagerStats::default(),
+                panic: Some(message),
+            }),
+        }
     }
     SweepResult {
         summaries,
@@ -194,37 +347,104 @@ pub fn analyze_universe(
     }
 }
 
+/// Runs one shard with panics converted into an `Err(message)`.
+fn run_shard_caught(
+    circuit: &Circuit,
+    faults: &[Fault],
+    first_fault: usize,
+    config: EngineConfig,
+    fallback: FallbackConfig,
+) -> ShardOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        analyze_shard(circuit, faults, first_fault, config, fallback)
+    }))
+    .map_err(|payload| panic_message(payload.as_ref()))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "shard worker panicked with a non-string payload".to_string()
+    }
+}
+
 /// The worker: one private engine, one contiguous slice of the universe.
+///
+/// A budget trip — on the good-function build or on any individual fault —
+/// degrades to the sampled-simulation fallback for the affected fault(s);
+/// the engine itself recovers and continues exactly on the rest.
 fn analyze_shard(
     circuit: &Circuit,
     faults: &[Fault],
+    first_fault: usize,
     config: EngineConfig,
+    fallback: FallbackConfig,
 ) -> (Vec<FaultSummary>, ManagerStats) {
-    let mut dp = DiffProp::with_config(circuit, config);
+    // If even the good functions blow the budget, every fault of the shard
+    // is estimated by simulation.
+    let mut dp = DiffProp::try_with_config(circuit, config).ok();
     let summaries = faults
         .iter()
-        .map(|fault| {
-            let analysis = dp.analyze(fault);
-            let adherence = dp.adherence(&analysis);
-            FaultSummary {
-                fault: *fault,
-                detectability: analysis.detectability,
-                test_count: analysis.test_count,
-                observable_outputs: analysis.observable_outputs,
-                site_function_constant: analysis.site_function_constant,
-                adherence,
-            }
+        .enumerate()
+        .map(|(i, fault)| {
+            let exact = dp.as_mut().and_then(|dp| {
+                let analysis = dp.try_analyze(fault).ok()?;
+                let adherence = dp.adherence(&analysis);
+                Some(FaultSummary {
+                    fault: *fault,
+                    detectability: analysis.detectability,
+                    test_count: analysis.test_count,
+                    observable_outputs: analysis.observable_outputs,
+                    site_function_constant: analysis.site_function_constant,
+                    adherence,
+                    outcome: FaultOutcome::Exact,
+                })
+            });
+            exact.unwrap_or_else(|| sampled_summary(circuit, fault, first_fault + i, fallback))
         })
         .collect();
-    let stats = dp.good().manager().stats().clone();
+    let stats = dp
+        .map(|dp| dp.good().manager().stats().clone())
+        .unwrap_or_default();
     (summaries, stats)
+}
+
+/// Simulator fallback: a sampled [`FaultSummary`], deterministically seeded
+/// by the fault's global index.
+fn sampled_summary(
+    circuit: &Circuit,
+    fault: &Fault,
+    global_index: usize,
+    fallback: FallbackConfig,
+) -> FaultSummary {
+    let est = sampled_fault_estimate(
+        circuit,
+        fault,
+        fallback.samples,
+        fallback.seed.wrapping_add(global_index as u64),
+    );
+    FaultSummary {
+        fault: *fault,
+        detectability: est.detectability(),
+        test_count: None,
+        observable_outputs: est.observable_outputs,
+        site_function_constant: est.site_function_constant,
+        adherence: None,
+        outcome: FaultOutcome::Bounded {
+            samples: est.samples,
+        },
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dp_bdd::BudgetConfig;
     use dp_faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind};
-    use dp_netlist::generators::{c17, full_adder};
+    use dp_netlist::generators::{alu74181, c17, c95, full_adder};
 
     fn stuck_at_universe(circuit: &Circuit) -> Vec<Fault> {
         checkpoint_faults(circuit)
@@ -266,6 +486,7 @@ mod tests {
             assert_eq!(summary.test_count, a.test_count);
             assert_eq!(summary.observable_outputs, a.observable_outputs);
             assert_eq!(summary.site_function_constant, a.site_function_constant);
+            assert_eq!(summary.outcome, FaultOutcome::Exact);
         }
     }
 
@@ -322,6 +543,7 @@ mod tests {
         assert!(sweep.summaries.is_empty());
         assert_eq!(sweep.shards.len(), 1);
         assert_eq!(sweep.shards[0].faults, 0);
+        assert!(sweep.is_complete());
     }
 
     #[test]
@@ -339,6 +561,8 @@ mod tests {
             sweep.shards.iter().map(|s| s.faults).sum::<usize>(),
             faults.len()
         );
+        assert_eq!(sweep.shards[0].first_fault, 0);
+        assert_eq!(sweep.shards[1].first_fault, sweep.shards[0].faults);
         for report in &sweep.shards {
             // Every shard built good functions and propagated differences.
             assert!(report.stats.unique.lookups > 0, "shard {}", report.shard);
@@ -369,5 +593,128 @@ mod tests {
             Parallelism::Threads(0),
         );
         assert_eq!(sweep.shards.len(), 1);
+    }
+
+    /// A fault referencing a net of a *different* circuit makes the engine
+    /// panic (index out of bounds) — exactly the class of failure the sweep
+    /// must contain to one shard.
+    fn foreign_fault() -> Fault {
+        let alu = alu74181();
+        Fault::from(checkpoint_faults(&alu).pop().expect("alu has faults"))
+    }
+
+    #[test]
+    fn panicking_shard_is_isolated_and_survivors_are_returned() {
+        let circuit = c17();
+        let mut faults = stuck_at_universe(&circuit);
+        // Append a poisoned fault: with two shards the first gets the top
+        // half of the healthy faults and the poison lands in the second.
+        faults.push(foreign_fault());
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Threads(2),
+        );
+        assert!(!sweep.is_complete());
+        let failed = sweep.failed_shards();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].shard, 1);
+        assert!(failed[0].panic.is_some());
+        // The surviving shard's summaries are intact and bit-identical to a
+        // clean serial run over the same prefix.
+        let prefix = sweep.shards[0].faults;
+        assert_eq!(sweep.summaries.len(), prefix);
+        let clean = analyze_universe(
+            &circuit,
+            &faults[..prefix],
+            EngineConfig::default(),
+            Parallelism::Serial,
+        );
+        assert_bit_identical(&clean.summaries, &sweep.summaries);
+    }
+
+    #[test]
+    fn serial_panic_is_caught_too() {
+        let circuit = c17();
+        let faults = vec![foreign_fault()];
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Serial,
+        );
+        assert!(!sweep.is_complete());
+        assert!(sweep.summaries.is_empty());
+        assert_eq!(sweep.shards.len(), 1);
+        assert!(sweep.shards[0].panic.is_some());
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_bounded_summaries() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let config = EngineConfig {
+            // Too small for c95's good functions: every fault is estimated.
+            budget: BudgetConfig::with_max_nodes(8),
+            ..Default::default()
+        };
+        let fallback = FallbackConfig {
+            samples: 512,
+            seed: 7,
+        };
+        let sweep =
+            analyze_universe_with(&circuit, &faults, config, Parallelism::Threads(2), fallback);
+        assert!(sweep.is_complete(), "budget trips are not panics");
+        assert_eq!(sweep.summaries.len(), faults.len());
+        assert_eq!(sweep.num_bounded(), faults.len());
+        for s in &sweep.summaries {
+            assert_eq!(s.outcome, FaultOutcome::Bounded { samples: 512 });
+            assert!((0.0..=1.0).contains(&s.detectability));
+            assert_eq!(s.test_count, None);
+            assert_eq!(s.adherence, None);
+        }
+    }
+
+    #[test]
+    fn bounded_estimates_are_thread_count_invariant() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let config = EngineConfig {
+            budget: BudgetConfig::with_max_nodes(8),
+            ..Default::default()
+        };
+        let fallback = FallbackConfig::default();
+        let serial =
+            analyze_universe_with(&circuit, &faults, config, Parallelism::Serial, fallback);
+        for n in [2, 3, 5] {
+            let sharded =
+                analyze_universe_with(&circuit, &faults, config, Parallelism::Threads(n), fallback);
+            assert_bit_identical(&serial.summaries, &sharded.summaries);
+        }
+    }
+
+    #[test]
+    fn generous_budget_still_yields_exact_everywhere() {
+        let circuit = c17();
+        let faults = stuck_at_universe(&circuit);
+        let unbudgeted = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Serial,
+        );
+        let budgeted = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig {
+                budget: BudgetConfig::with_max_nodes(1 << 20),
+                ..Default::default()
+            },
+            Parallelism::Serial,
+        );
+        assert!(budgeted.summaries.iter().all(|s| s.outcome.is_exact()));
+        assert_eq!(budgeted.num_bounded(), 0);
+        assert_bit_identical(&unbudgeted.summaries, &budgeted.summaries);
     }
 }

@@ -25,9 +25,11 @@ use crate::error::NetlistError;
 ///
 /// # Errors
 ///
-/// Returns [`NetlistError::ParseBench`] for malformed lines,
-/// [`NetlistError::UnknownNet`] for references to undefined nets, and the
-/// usual structural errors for duplicate definitions or cyclic netlists.
+/// Returns [`NetlistError::ParseBench`] — always with the offending line
+/// number — for malformed lines, duplicate net definitions (including a
+/// gate redefining a declared `INPUT`), references to undefined nets, and
+/// cyclic netlists; [`NetlistError::UnknownNet`] for an `OUTPUT` naming a
+/// net the file never defines. The parser never panics on malformed input.
 ///
 /// # Examples
 ///
@@ -57,6 +59,10 @@ pub fn parse_bench(src: &str, name: &str) -> Result<Circuit, NetlistError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut gates: Vec<RawGate> = Vec::new();
+    // Every net definition (INPUT or gate output) with its line, so a
+    // redefinition is rejected at the offending line instead of surfacing
+    // later as a lineless structural error.
+    let mut defined: HashMap<String, usize> = HashMap::new();
 
     for (lineno, raw) in src.lines().enumerate() {
         let line = lineno + 1;
@@ -65,12 +71,23 @@ pub fn parse_bench(src: &str, name: &str) -> Result<Circuit, NetlistError> {
             continue;
         }
         let err = |message: String| NetlistError::ParseBench { line, message };
+        let define = |name: &str, defined: &mut HashMap<String, usize>| match defined
+            .insert(name.to_string(), line)
+        {
+            Some(prev) => Err(err(format!(
+                "net `{name}` already defined at line {prev}"
+            ))),
+            None => Ok(()),
+        };
         if let Some(rest) = strip_directive(text, "INPUT") {
-            inputs.push(rest.map_err(err)?);
+            let name = rest.map_err(err)?;
+            define(&name, &mut defined)?;
+            inputs.push(name);
         } else if let Some(rest) = strip_directive(text, "OUTPUT") {
             outputs.push(rest.map_err(err)?);
         } else if let Some((lhs, rhs)) = text.split_once('=') {
             let output = lhs.trim().to_string();
+            define(&output, &mut defined)?;
             let rhs = rhs.trim();
             let open = rhs
                 .find('(')
@@ -133,18 +150,20 @@ pub fn parse_bench(src: &str, name: &str) -> Result<Circuit, NetlistError> {
             }
         }
         if !progressed {
-            // Either a cycle or a reference to an undefined net.
+            // Either a cycle or a reference to an undefined net. A stalled
+            // gate always has an unresolved fanin (nothing progressed, so
+            // `ids` did not change while it waited), but stay panic-free if
+            // that reasoning ever rots.
             let g = &next_round[0];
-            let missing = g
-                .fanins
-                .iter()
-                .find(|f| !ids.contains_key(*f))
-                .expect("some fanin is unresolved");
+            let message = match g.fanins.iter().find(|f| !ids.contains_key(*f)) {
+                Some(missing) => {
+                    format!("net `{missing}` is undefined or participates in a cycle")
+                }
+                None => format!("gate `{}` is stuck in a definition cycle", g.output),
+            };
             return Err(NetlistError::ParseBench {
                 line: g.line,
-                message: format!(
-                    "net `{missing}` is undefined or participates in a cycle"
-                ),
+                message,
             });
         }
         remaining = next_round;
@@ -278,6 +297,10 @@ b = NOT(a)
         let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n";
         let e = parse_bench(src, "bad").unwrap_err();
         assert!(e.to_string().contains("ghost"));
+        assert!(
+            matches!(e, NetlistError::ParseBench { line: 3, .. }),
+            "wrong location: {e}"
+        );
     }
 
     #[test]
@@ -285,6 +308,63 @@ b = NOT(a)
         let src = "INPUT(a)\nOUTPUT(p)\np = AND(a, q)\nq = NOT(p)\n";
         let e = parse_bench(src, "cyc").unwrap_err();
         assert!(e.to_string().contains("cycle"));
+        // Both cycle members stall; the first one in file order is blamed.
+        assert!(
+            matches!(e, NetlistError::ParseBench { line: 3, .. }),
+            "wrong location: {e}"
+        );
+    }
+
+    #[test]
+    fn duplicate_input_rejected_with_line() {
+        let src = "INPUT(a)\nINPUT(b)\nINPUT(a)\nOUTPUT(y)\ny = AND(a, b)\n";
+        let e = parse_bench(src, "dup").unwrap_err();
+        match e {
+            NetlistError::ParseBench { line, ref message } => {
+                assert_eq!(line, 3, "{message}");
+                assert!(message.contains('a') && message.contains("line 1"), "{message}");
+            }
+            other => panic!("expected a located parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_gate_output_rejected_with_line() {
+        let src = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n";
+        let e = parse_bench(src, "dup").unwrap_err();
+        match e {
+            NetlistError::ParseBench { line, ref message } => {
+                assert_eq!(line, 4, "{message}");
+                assert!(message.contains("line 3"), "{message}");
+            }
+            other => panic!("expected a located parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gate_redefining_an_input_rejected_with_line() {
+        // This shape used to escape the duplicate check and die later in
+        // the topological fixpoint; it must be a clean, located error.
+        let src = "INPUT(a)\nOUTPUT(y)\na = NOT(y)\ny = NOT(a)\n";
+        let e = parse_bench(src, "dup").unwrap_err();
+        match e {
+            NetlistError::ParseBench { line, ref message } => {
+                assert_eq!(line, 3, "{message}");
+                assert!(message.contains('a') && message.contains("line 1"), "{message}");
+            }
+            other => panic!("expected a located parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_referential_gate_is_a_cycle_not_a_panic() {
+        let src = "INPUT(a)\nOUTPUT(x)\nx = AND(a, x)\n";
+        let e = parse_bench(src, "selfcyc").unwrap_err();
+        assert!(
+            matches!(e, NetlistError::ParseBench { line: 3, .. }),
+            "wrong location: {e}"
+        );
+        assert!(e.to_string().contains('x'));
     }
 
     #[test]

@@ -330,6 +330,91 @@ pub fn random_detectability(
     (detected, blocks as u64 * 64)
 }
 
+/// A Monte-Carlo fault estimate shaped like the scalar slice of an exact
+/// analysis — the degraded-mode stand-in the sweep layer falls back to when
+/// a BDD work budget trips (`dp_core::parallel`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampledDetectability {
+    /// Vectors (of `samples`) on which some primary output differed.
+    pub detected: u64,
+    /// Vectors actually simulated (`requested` rounded up to a multiple
+    /// of 64 — the packed word width).
+    pub samples: u64,
+    /// Per-output observability flags over the sample, in PO order: `true`
+    /// when the fault was visible at that output for some sampled vector.
+    /// A sampled `false` may be a false negative; a `true` is certain.
+    pub observable_outputs: Vec<bool>,
+    /// Whether the faulty site function was constant *across the sample*
+    /// (always `true` for stuck-at faults, by definition). As with
+    /// observability this is one-sided: `false` is certain, `true` may be
+    /// an artefact of the sample.
+    pub site_function_constant: bool,
+}
+
+impl SampledDetectability {
+    /// The estimated detection probability `detected / samples`.
+    pub fn detectability(&self) -> f64 {
+        self.detected as f64 / self.samples as f64
+    }
+}
+
+/// Estimates a fault's detectability and observability profile from
+/// `samples` random vectors (rounded up to a multiple of 64), with a fixed
+/// seed for reproducibility. The extended sibling of
+/// [`random_detectability`]: same sweep, but it also collects the
+/// per-output flags and site-constancy an exact analysis would report.
+pub fn sampled_fault_estimate(
+    circuit: &Circuit,
+    fault: &Fault,
+    samples: u64,
+    seed: u64,
+) -> SampledDetectability {
+    let n = circuit.num_inputs();
+    let blocks = samples.div_ceil(64).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sim = PackedSim::new(circuit);
+    let mut detected = 0u64;
+    let mut observable = vec![false; circuit.num_outputs()];
+    // Wired-site constancy, tracked only for bridges: stays `true` while
+    // every sampled vector drives the wired value to the same constant.
+    let (mut site_all0, mut site_all1) = (true, true);
+    let mut inputs = vec![0u64; n];
+    for _ in 0..blocks {
+        for word in inputs.iter_mut() {
+            *word = rng.random();
+        }
+        let good: Vec<u64> = {
+            let values = sim.run(&inputs);
+            circuit.outputs().iter().map(|o| values[o.index()]).collect()
+        };
+        let faulty = faulty_values(circuit, fault, &inputs);
+        if let Fault::Bridging(f) = fault {
+            let wired = faulty[f.a.index()];
+            site_all0 &= wired == 0;
+            site_all1 &= wired == !0u64;
+        }
+        let mut diff = 0u64;
+        for (k, &o) in circuit.outputs().iter().enumerate() {
+            let d = good[k] ^ faulty[o.index()];
+            if d != 0 {
+                observable[k] = true;
+            }
+            diff |= d;
+        }
+        detected += diff.count_ones() as u64;
+    }
+    let site_function_constant = match fault {
+        Fault::StuckAt(_) => true,
+        Fault::Bridging(_) => site_all0 || site_all1,
+    };
+    SampledDetectability {
+        detected,
+        samples: blocks * 64,
+        observable_outputs: observable,
+        site_function_constant,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +508,56 @@ mod tests {
         let (rdet, rtotal) = random_detectability(&c, &f, 4096, 42);
         let estimate = rdet as f64 / rtotal as f64;
         assert!((exact - estimate).abs() < 0.05, "exact {exact} vs est {estimate}");
+    }
+
+    #[test]
+    fn sampled_estimate_tracks_exhaustive_and_is_deterministic() {
+        let c = c95();
+        let f = Fault::from(checkpoint_faults(&c)[0]);
+        let (det, total) = exhaustive_detectability(&c, &f);
+        let exact = det as f64 / total as f64;
+        let est = sampled_fault_estimate(&c, &f, 4096, 42);
+        assert_eq!(est.samples, 4096);
+        assert!((exact - est.detectability()).abs() < 0.05);
+        assert!(est.site_function_constant, "stuck-at sites are constant");
+        // Same seed, same estimate — bit for bit.
+        assert_eq!(est, sampled_fault_estimate(&c, &f, 4096, 42));
+        // The packed width rounds the sample count up.
+        assert_eq!(sampled_fault_estimate(&c, &f, 65, 42).samples, 128);
+        assert_eq!(sampled_fault_estimate(&c, &f, 0, 42).samples, 64);
+    }
+
+    #[test]
+    fn sampled_estimate_observability_flags_are_sound() {
+        // A certainly-observed output must agree with the random sweep's
+        // detection count; an output with no sampled difference stays false.
+        let c = c17();
+        for f in checkpoint_faults(&c) {
+            let est = sampled_fault_estimate(&c, &Fault::from(f), 512, 7);
+            let any = est.observable_outputs.iter().any(|&b| b);
+            assert_eq!(any, est.detected > 0, "{f}");
+        }
+    }
+
+    #[test]
+    fn sampled_estimate_detects_nonconstant_bridge_sites() {
+        // Bridging x and ¬x wired-AND is constant 0; bridging x and y is not.
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("t");
+        let x = b.input("x");
+        let y = b.input("y");
+        let nx = b.not("nx", x).unwrap();
+        let g1 = b.gate("g1", GateKind::And, &[x, y]).unwrap();
+        let g2 = b.gate("g2", GateKind::Or, &[nx, y]).unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let constant = Fault::from(BridgingFault::new(x, nx, BridgeKind::And));
+        let est = sampled_fault_estimate(&c, &constant, 256, 3);
+        assert!(est.site_function_constant);
+        let varying = Fault::from(BridgingFault::new(x, y, BridgeKind::And));
+        let est2 = sampled_fault_estimate(&c, &varying, 256, 3);
+        assert!(!est2.site_function_constant, "x·y is not constant");
     }
 
     #[test]

@@ -11,9 +11,25 @@
 //! `<circuit>` is a built-in benchmark name (`c17`, `full_adder`, `c95`,
 //! `alu74181`, `c432s`, `c499s`, `c1355s`, `c1908s`) or a path to an
 //! ISCAS-85 `.bench` file.
+//!
+//! Resource bounding (the `analyze` command):
+//!
+//! * `--node-budget N` caps the BDD node table at `N` nodes per fault
+//!   analysis. A fault that trips the cap falls back to packed random
+//!   fault simulation and its row is marked `bounded` instead of `exact`.
+//! * `--fallback-samples N` sets the number of random vectors for those
+//!   estimates (default 4096; rounded up to a multiple of 64).
+//!
+//! Without `--node-budget` every analysis is exact and the output is
+//! identical to the unbudgeted engine's.
 
-use diffprop::analysis::{analyze_faults, bridging_universe, stuck_at_universe, Histogram};
-use diffprop::core::{find_redundancies, generate_tests, DiffProp};
+use diffprop::analysis::{
+    analyze_faults, bridging_universe, records_from_sweep, stuck_at_universe, Histogram,
+};
+use diffprop::core::{
+    analyze_universe_with, find_redundancies, generate_tests, BudgetConfig, EngineConfig,
+    FallbackConfig, Parallelism,
+};
 use diffprop::faults::BridgeKind;
 use diffprop::netlist::{generators, parse_bench, Circuit, Scoap};
 
@@ -42,14 +58,78 @@ fn load(arg: &str) -> Circuit {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: diffprop <stats|analyze|atpg|redundancy|bridges> <circuit> [n]\n\
-         circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench"
+        "usage: diffprop <stats|analyze|atpg|redundancy|bridges> <circuit> [n] \
+         [--node-budget N] [--fallback-samples N]\n\
+         circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench\n\
+         --node-budget N       cap BDD nodes per analysis; over-budget faults degrade to\n\
+                               sampled simulation estimates (analyze command)\n\
+         --fallback-samples N  random vectors per degraded estimate (default 4096)"
     );
     std::process::exit(2);
 }
 
+/// Resource-bounding options shared by the subcommands.
+struct Opts {
+    node_budget: Option<usize>,
+    fallback_samples: u64,
+}
+
+impl Opts {
+    fn budget(&self) -> BudgetConfig {
+        match self.node_budget {
+            Some(n) => BudgetConfig::with_max_nodes(n),
+            None => BudgetConfig::UNLIMITED,
+        }
+    }
+}
+
+/// Splits `--flag value` / `--flag=value` options out of the raw argument
+/// list, leaving the positionals.
+fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
+    let mut positional = Vec::new();
+    let mut opts = Opts {
+        node_budget: None,
+        fallback_samples: 4096,
+    };
+    let mut it = raw.into_iter();
+    while let Some(arg) = it.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg.clone(), None),
+        };
+        let mut value = |name: &str| -> String {
+            inline.clone().or_else(|| it.next()).unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--node-budget" => {
+                let v = value("--node-budget");
+                opts.node_budget = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--node-budget: `{v}` is not a number");
+                    usage()
+                }));
+            }
+            "--fallback-samples" => {
+                let v = value("--fallback-samples");
+                opts.fallback_samples = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--fallback-samples: `{v}` is not a number");
+                    usage()
+                });
+            }
+            f if f.starts_with("--") => {
+                eprintln!("unknown option {f}");
+                usage()
+            }
+            _ => positional.push(arg),
+        }
+    }
+    (positional, opts)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (args, opts) = parse_args(std::env::args().skip(1).collect());
     let (cmd, target) = match (args.first(), args.get(1)) {
         (Some(c), Some(t)) => (c.as_str(), t.as_str()),
         _ => usage(),
@@ -62,7 +142,7 @@ fn main() {
 
     match cmd {
         "stats" => stats(&circuit),
-        "analyze" => analyze(&circuit, if n == 0 { 20 } else { n }),
+        "analyze" => analyze(&circuit, if n == 0 { 20 } else { n }, &opts),
         "atpg" => atpg(&circuit),
         "redundancy" => redundancy(&circuit),
         "bridges" => bridges(&circuit, if n == 0 { 200 } else { n }),
@@ -94,27 +174,50 @@ fn stats(circuit: &Circuit) {
     }
 }
 
-fn analyze(circuit: &Circuit, n: usize) {
+fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
     let mut faults = stuck_at_universe(circuit, true);
     faults.truncate(n);
-    let mut dp = DiffProp::new(circuit);
-    println!("{:<28} {:>10} {:>12} {:>10} {:>6}", "fault", "det prob", "exact tests", "adherence", "POs");
-    for fault in &faults {
-        let a = dp.analyze(fault);
-        let adh = dp
-            .adherence(&a)
+    let config = EngineConfig {
+        budget: opts.budget(),
+        ..Default::default()
+    };
+    let fallback = FallbackConfig {
+        samples: opts.fallback_samples,
+        ..Default::default()
+    };
+    let sweep = analyze_universe_with(circuit, &faults, config, Parallelism::Serial, fallback);
+    println!(
+        "{:<28} {:>10} {:>12} {:>10} {:>6} {:>8}",
+        "fault", "det prob", "exact tests", "adherence", "POs", "outcome"
+    );
+    for s in &sweep.summaries {
+        let adh = s
+            .adherence
             .map_or_else(|| "-".into(), |x| format!("{x:.4}"));
         println!(
-            "{:<28} {:>10.4} {:>12} {:>10} {:>3}/{:<2}",
-            fault.to_string(),
-            a.detectability,
-            a.test_count.map_or_else(|| "-".into(), |c| c.to_string()),
+            "{:<28} {:>10.4} {:>12} {:>10} {:>3}/{:<2} {:>8}",
+            s.fault.to_string(),
+            s.detectability,
+            s.test_count.map_or_else(|| "-".into(), |c| c.to_string()),
             adh,
-            a.num_observable(),
-            circuit.num_outputs()
+            s.num_observable(),
+            circuit.num_outputs(),
+            if s.outcome.is_exact() { "exact" } else { "bounded" }
         );
     }
-    let records = analyze_faults(circuit, &faults);
+    let bounded = sweep.num_bounded();
+    println!(
+        "\noutcomes: {} exact, {} bounded",
+        sweep.summaries.len() - bounded,
+        bounded
+    );
+    if bounded > 0 {
+        println!(
+            "(bounded rows are estimates over {} random vectors; raise --node-budget for exact results)",
+            fallback.samples.div_ceil(64) * 64
+        );
+    }
+    let records = records_from_sweep(circuit, &faults, &sweep);
     println!("\ndetectability profile:");
     print!("{}", Histogram::from_values(15, records.iter().map(|r| r.detectability)));
 }

@@ -1,0 +1,151 @@
+//! Cross-crate budget tests: a work-budgeted engine must be *fail-safe* —
+//! every `try_analyze` call either returns exactly what the unbudgeted
+//! engine returns, or reports `BudgetExceeded`. It must never return a
+//! plausible-but-wrong answer, and a budget-capped sweep must degrade to
+//! sampled estimates instead of panicking or aborting.
+
+use diffprop::analysis::stuck_at_universe;
+use diffprop::core::{
+    analyze_universe_with, AnalysisError, BudgetConfig, DiffProp, EngineConfig,
+    FallbackConfig, Parallelism,
+};
+use diffprop::faults::{checkpoint_faults, Fault};
+use diffprop::netlist::generators::{
+    alu74181, c95, random_circuit, RandomCircuitConfig,
+};
+use proptest::prelude::*;
+
+fn config_strategy() -> impl Strategy<Value = (u64, RandomCircuitConfig)> {
+    (any::<u64>(), (2usize..=5, 4usize..=18, 2usize..=4)).prop_map(
+        |(seed, (inputs, gates, max_fanin))| {
+            (
+                seed,
+                RandomCircuitConfig {
+                    inputs,
+                    gates,
+                    max_fanin,
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On random circuits under random tiny budgets, `try_analyze` is
+    /// all-or-nothing: `Ok` results are bit-identical to the unbudgeted
+    /// engine's, and the only failure mode is `Err(BudgetExceeded)`.
+    #[test]
+    fn budgeted_analysis_is_exact_or_err(
+        (seed, cfg) in config_strategy(),
+        max_nodes in 1usize..160,
+        max_op_steps in 1u64..2000,
+    ) {
+        let circuit = random_circuit(seed, cfg);
+        let mut reference = DiffProp::new(&circuit);
+        let budget = BudgetConfig {
+            max_nodes: Some(max_nodes),
+            max_op_steps: Some(max_op_steps),
+        };
+        let config = EngineConfig { budget, ..Default::default() };
+        // The build itself may blow the budget; that is a legal outcome,
+        // not a test failure.
+        if let Ok(mut budgeted) = DiffProp::try_with_config(&circuit, config) {
+            for f in checkpoint_faults(&circuit).into_iter().take(12) {
+                let fault = Fault::from(f);
+                let exact = reference.analyze(&fault);
+                match budgeted.try_analyze(&fault) {
+                    Ok(got) => {
+                        prop_assert_eq!(
+                            got.detectability.to_bits(),
+                            exact.detectability.to_bits(),
+                            "{} on {}", fault, circuit.name()
+                        );
+                        prop_assert_eq!(got.test_count, exact.test_count);
+                        prop_assert_eq!(&got.observable_outputs, &exact.observable_outputs);
+                        prop_assert_eq!(got.site_function_constant, exact.site_function_constant);
+                    }
+                    Err(AnalysisError::BudgetExceeded(_)) => {
+                        // Legal degradation — and it must not poison later
+                        // calls: the infallible path stays exact afterwards.
+                        let recovered = budgeted.analyze(&fault);
+                        prop_assert_eq!(
+                            recovered.detectability.to_bits(),
+                            exact.detectability.to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A sweep over real benchmark circuits with an adversarially tiny node
+/// budget completes without panicking, covers every fault, degrades a
+/// non-zero number of them to sampled estimates, and keeps every
+/// detectability in range.
+#[test]
+fn tiny_budget_sweep_degrades_instead_of_aborting() {
+    for circuit in [c95(), alu74181()] {
+        let faults = stuck_at_universe(&circuit, true);
+        let config = EngineConfig {
+            budget: BudgetConfig::with_max_nodes(16),
+            ..Default::default()
+        };
+        let fallback = FallbackConfig {
+            samples: 256,
+            ..Default::default()
+        };
+        let sweep = analyze_universe_with(
+            &circuit,
+            &faults,
+            config,
+            Parallelism::Threads(3),
+            fallback,
+        );
+        assert!(sweep.is_complete(), "no shard may fail on {}", circuit.name());
+        assert_eq!(sweep.summaries.len(), faults.len());
+        assert!(
+            sweep.num_bounded() > 0,
+            "a 16-node budget must trip on {}",
+            circuit.name()
+        );
+        for s in &sweep.summaries {
+            assert!(
+                (0.0..=1.0).contains(&s.detectability),
+                "{} out of range on {}",
+                s.fault,
+                circuit.name()
+            );
+        }
+    }
+}
+
+/// Without a configured budget the fallible sweep is the exact sweep: same
+/// scalars, every outcome `Exact`.
+#[test]
+fn unlimited_budget_sweep_matches_the_default_path() {
+    let circuit = c95();
+    let faults = stuck_at_universe(&circuit, true);
+    let exact = diffprop::core::analyze_universe(
+        &circuit,
+        &faults,
+        EngineConfig::default(),
+        Parallelism::Serial,
+    );
+    let fallible = analyze_universe_with(
+        &circuit,
+        &faults,
+        EngineConfig::default(),
+        Parallelism::Serial,
+        FallbackConfig::default(),
+    );
+    assert_eq!(exact.summaries.len(), fallible.summaries.len());
+    for (a, b) in exact.summaries.iter().zip(&fallible.summaries) {
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.detectability.to_bits(), b.detectability.to_bits());
+        assert_eq!(a.test_count, b.test_count);
+        assert!(b.outcome.is_exact());
+    }
+}

@@ -19,6 +19,7 @@ fn cfg() -> ExperimentConfig {
         sa_cap: usize::MAX,
         seed: 1990,
         parallelism: diffprop::core::Parallelism::Serial,
+        ..Default::default()
     }
 }
 
