@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--node-budget N]
-//!         [--fallback-samples N] [--only figN,figM,...]
+//!         [--fallback-samples N] [--no-collapse] [--only figN,figM,...]
 //! ```
 //!
 //! `--smoke` runs a reduced workload (fast CI check); the default
@@ -34,7 +34,7 @@ use dp_analysis::trends::{render_trend, trend_point, TrendPoint};
 use dp_analysis::{
     bridging_universe, records_from_sweep, stuck_at_universe, FaultRecord, Histogram,
 };
-use dp_core::{analyze_universe_with, BudgetConfig, Parallelism, SweepResult};
+use dp_core::{sweep_universe, BudgetConfig, Parallelism, SweepResult};
 use dp_faults::BridgeKind;
 use dp_netlist::generators::benchmark_suite;
 use dp_netlist::Circuit;
@@ -71,17 +71,12 @@ impl Lab {
             let mut faults = stuck_at_universe(c, true);
             faults.truncate(self.config.sa_cap);
             let t = Instant::now();
-            let sweep = analyze_universe_with(
-                c,
-                &faults,
-                self.config.engine_config(),
-                self.config.parallelism,
-                self.config.fallback,
-            );
+            let sweep = sweep_universe(c, &faults, &self.config.sweep_config());
             let records = records_from_sweep(c, &faults, &sweep);
             eprintln!(
-                "  [sa] {name}: {} faults in {:?}",
+                "  [sa] {name}: {} faults ({} classes) in {:?}",
                 records.len(),
+                sweep.classes,
                 t.elapsed()
             );
             report_shards(&sweep);
@@ -99,13 +94,7 @@ impl Lab {
             let c = self.circuit(name);
             let faults = bridging_universe(c, kind, Some(self.config.bf_sample), self.config.seed);
             let t = Instant::now();
-            let sweep = analyze_universe_with(
-                c,
-                &faults,
-                self.config.engine_config(),
-                self.config.parallelism,
-                self.config.fallback,
-            );
+            let sweep = sweep_universe(c, &faults, &self.config.sweep_config());
             let records = records_from_sweep(c, &faults, &sweep);
             eprintln!(
                 "  [bf {kind}] {name}: {} faults in {:?}",
@@ -166,6 +155,7 @@ fn main() {
                 config.fallback.samples =
                     args[i].parse().expect("--fallback-samples takes a number");
             }
+            "--no-collapse" => config.collapse = false,
             "--only" => {
                 i += 1;
                 only = Some(args[i].split(',').map(str::to_string).collect());
@@ -174,7 +164,7 @@ fn main() {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] \
-                     [--node-budget N] [--fallback-samples N] [--only fig1,...]"
+                     [--node-budget N] [--fallback-samples N] [--no-collapse] [--only fig1,...]"
                 );
                 std::process::exit(2);
             }
@@ -352,9 +342,12 @@ fn report_shards(sweep: &SweepResult) {
         let unique = &shard.stats.unique;
         let op = shard.stats.op_total();
         eprintln!(
-            "    shard {}: {} faults | unique {} lookups {:.1}% hit | op cache {} lookups {:.1}% hit | peak {} nodes | {} gc",
+            "    worker {}: {} chunks, {} classes, {} faults, {:.1?} busy | unique {} lookups {:.1}% hit | op cache {} lookups {:.1}% hit | peak {} nodes | {} gc",
             shard.shard,
-            shard.faults,
+            shard.chunks_claimed,
+            shard.classes_done,
+            shard.faults_done,
+            shard.busy,
             unique.lookups,
             100.0 * unique.hit_rate(),
             op.lookups,

@@ -5,7 +5,7 @@
 //! `crates/bench` times each one.
 
 use dp_core::{
-    analyze_universe_with, BudgetConfig, EngineConfig, FallbackConfig, Parallelism,
+    sweep_universe, BudgetConfig, EngineConfig, FallbackConfig, Parallelism, SweepConfig,
 };
 use dp_faults::BridgeKind;
 use dp_netlist::Circuit;
@@ -43,6 +43,10 @@ pub struct ExperimentConfig {
     pub budget: BudgetConfig,
     /// Simulator fallback used for over-budget faults.
     pub fallback: FallbackConfig,
+    /// Structural fault collapsing in the sweeps (default on). Off restores
+    /// one BDD propagation per fault — an ablation knob; the printed series
+    /// are bit-identical either way.
+    pub collapse: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -56,6 +60,7 @@ impl Default for ExperimentConfig {
             parallelism: Parallelism::Serial,
             budget: BudgetConfig::UNLIMITED,
             fallback: FallbackConfig::default(),
+            collapse: true,
         }
     }
 }
@@ -71,6 +76,7 @@ impl ExperimentConfig {
             parallelism: Parallelism::Serial,
             budget: BudgetConfig::UNLIMITED,
             fallback: FallbackConfig::default(),
+            collapse: true,
         }
     }
 
@@ -80,6 +86,18 @@ impl ExperimentConfig {
         EngineConfig {
             budget: self.budget,
             ..Default::default()
+        }
+    }
+
+    /// The full sweep configuration the drivers hand to
+    /// [`dp_core::sweep_universe`].
+    pub fn sweep_config(&self) -> SweepConfig {
+        SweepConfig {
+            engine: self.engine_config(),
+            parallelism: self.parallelism,
+            fallback: self.fallback,
+            collapse: self.collapse,
+            chunk: None,
         }
     }
 
@@ -94,13 +112,7 @@ impl ExperimentConfig {
 pub fn stuck_at_records(circuit: &Circuit, config: &ExperimentConfig) -> Vec<FaultRecord> {
     let mut faults = stuck_at_universe(circuit, true);
     faults.truncate(config.sa_cap);
-    let sweep = analyze_universe_with(
-        circuit,
-        &faults,
-        config.engine_config(),
-        config.parallelism,
-        config.fallback,
-    );
+    let sweep = sweep_universe(circuit, &faults, &config.sweep_config());
     records_from_sweep(circuit, &faults, &sweep)
 }
 
@@ -111,13 +123,7 @@ pub fn bridging_records(
     config: &ExperimentConfig,
 ) -> Vec<FaultRecord> {
     let faults = bridging_universe(circuit, kind, Some(config.bf_sample), config.seed);
-    let sweep = analyze_universe_with(
-        circuit,
-        &faults,
-        config.engine_config(),
-        config.parallelism,
-        config.fallback,
-    );
+    let sweep = sweep_universe(circuit, &faults, &config.sweep_config());
     records_from_sweep(circuit, &faults, &sweep)
 }
 

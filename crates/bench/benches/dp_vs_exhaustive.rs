@@ -9,7 +9,7 @@
 //! keeps going (`c432s`, 36 inputs, appears DP-only).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dp_bench::{parallelism_from_env, some_stuck_faults};
+use dp_bench::{parallelism_from_env, record_bench_result, some_stuck_faults, BenchRecord};
 use dp_core::{analyze_universe, EngineConfig};
 use dp_netlist::generators::{alu74181, c17, c432_surrogate, c95};
 use dp_sim::exhaustive_detectability;
@@ -26,6 +26,12 @@ fn bench_dp_vs_exhaustive(c: &mut Criterion) {
 
     for circuit in [c17(), c95(), alu74181()] {
         let faults = some_stuck_faults(&circuit, FAULTS);
+        record_bench_result(&BenchRecord::measure(
+            &circuit,
+            &faults,
+            "stuck_at_batch",
+            parallelism,
+        ));
         group.bench_function(format!("{}/diffprop", circuit.name()), |b| {
             b.iter(|| {
                 let sweep =
@@ -49,6 +55,12 @@ fn bench_dp_vs_exhaustive(c: &mut Criterion) {
     // only DP appears.
     let big = c432_surrogate();
     let faults = some_stuck_faults(&big, FAULTS);
+    record_bench_result(&BenchRecord::measure(
+        &big,
+        &faults,
+        "stuck_at_batch",
+        parallelism,
+    ));
     group.bench_function("c432s/diffprop_only", |b| {
         b.iter(|| {
             let sweep = analyze_universe(&big, &faults, EngineConfig::default(), parallelism);

@@ -12,6 +12,7 @@
 //! paper's expensive case (§2.2) and shard the same way.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use dp_bench::{record_bench_result, BenchRecord};
 use dp_core::{analyze_universe, EngineConfig, Parallelism};
 use dp_faults::{enumerate_nfbfs, BridgeKind, Fault};
 use dp_netlist::generators::alu74181;
@@ -21,6 +22,16 @@ use std::hint::black_box;
 use dp_analysis::stuck_at_universe;
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One measured sweep per thread count into `BENCH_PR4.json` — the
+/// machine-readable record of this workload (criterion keeps the statistics;
+/// this keeps circuit, fault model, faults/sec and the manager counters).
+fn record_results(circuit: &Circuit, faults: &[Fault], model: &str) {
+    for n in THREAD_COUNTS {
+        let record = BenchRecord::measure(circuit, faults, model, Parallelism::Threads(n));
+        record_bench_result(&record);
+    }
+}
 
 fn verify_identical(circuit: &Circuit, faults: &[Fault]) {
     let serial = analyze_universe(circuit, faults, EngineConfig::default(), Parallelism::Serial);
@@ -73,6 +84,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
     // Full stuck-at sweep: the collapsed checkpoint universe, uncapped.
     let sa_faults = stuck_at_universe(&circuit, true);
     sweep_group(c, "parallel_sweep/alu74181_stuck_at", &circuit, &sa_faults);
+    record_results(&circuit, &sa_faults, "stuck_at");
 
     // Bridging sweep: all AND-type NFBFs of the same ALU.
     let bf_faults: Vec<Fault> = enumerate_nfbfs(&circuit, BridgeKind::And)
@@ -80,6 +92,7 @@ fn bench_parallel_sweep(c: &mut Criterion) {
         .map(Fault::from)
         .collect();
     sweep_group(c, "parallel_sweep/alu74181_nfbf_and", &circuit, &bf_faults);
+    record_results(&circuit, &bf_faults, "nfbf_and");
 }
 
 criterion_group!(benches, bench_parallel_sweep);

@@ -9,9 +9,12 @@
 //! * `ablations` — selective trace, Table 1 at the engine level, variable
 //!   order, and n-input gate decomposition.
 
-use dp_core::Parallelism;
+use dp_core::{sweep_universe, Parallelism, SweepConfig};
 use dp_faults::{checkpoint_faults, Fault};
 use dp_netlist::Circuit;
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Instant;
 
 /// A deterministic slice of a circuit's checkpoint faults, as engine inputs.
 pub fn some_stuck_faults(circuit: &Circuit, count: usize) -> Vec<Fault> {
@@ -34,5 +37,141 @@ pub fn parallelism_from_env() -> Parallelism {
     {
         Some(n) if n > 1 => Parallelism::Threads(n),
         _ => Parallelism::Serial,
+    }
+}
+
+/// One measured sweep, as recorded in `BENCH_PR4.json`.
+///
+/// Bench targets run as separate processes, so the file is merged by key
+/// (`circuit/fault_model/threads=N`) instead of rewritten: re-running one
+/// target updates its own entries and leaves the others in place.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark circuit name.
+    pub circuit: String,
+    /// Fault model swept (`stuck_at`, `nfbf_and`, ...).
+    pub fault_model: String,
+    /// Universe size (faults summarised, before collapsing).
+    pub faults: usize,
+    /// Equivalence classes actually propagated.
+    pub classes: usize,
+    /// Worker threads of the sweep.
+    pub threads: usize,
+    /// Wall-clock seconds for the end-to-end sweep (engine build included).
+    pub seconds: f64,
+    /// `faults / seconds`.
+    pub faults_per_sec: f64,
+    /// Op-cache probes summed over workers at sweep end. The op counters
+    /// reset whenever a gc clears the cache, so this reads the tail since
+    /// the last collection — pair it with `unique_lookups` (cumulative)
+    /// when comparing work across runs.
+    pub op_steps: u64,
+    /// Unique-table probes summed over workers (cumulative for the life of
+    /// each manager).
+    pub unique_lookups: u64,
+    /// Largest node table any worker ever held.
+    pub peak_nodes: usize,
+}
+
+impl BenchRecord {
+    /// Runs one timed end-to-end sweep and captures its counters.
+    pub fn measure(
+        circuit: &Circuit,
+        faults: &[Fault],
+        fault_model: &str,
+        parallelism: Parallelism,
+    ) -> BenchRecord {
+        let config = SweepConfig {
+            parallelism,
+            ..Default::default()
+        };
+        let t0 = Instant::now();
+        let sweep = sweep_universe(circuit, faults, &config);
+        let seconds = t0.elapsed().as_secs_f64();
+        let stats = sweep.merged_stats();
+        BenchRecord {
+            circuit: circuit.name().to_string(),
+            fault_model: fault_model.to_string(),
+            faults: faults.len(),
+            classes: sweep.classes,
+            threads: parallelism.workers().max(1),
+            seconds,
+            faults_per_sec: faults.len() as f64 / seconds.max(f64::MIN_POSITIVE),
+            op_steps: stats.op_total().lookups,
+            unique_lookups: stats.unique.lookups,
+            peak_nodes: stats.peak_nodes,
+        }
+    }
+
+    fn key(&self) -> String {
+        format!(
+            "{}/{}/threads={}",
+            self.circuit, self.fault_model, self.threads
+        )
+    }
+
+    fn value_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"circuit\":\"{}\",\"fault_model\":\"{}\",\"faults\":{},",
+                "\"classes\":{},\"threads\":{},\"seconds\":{:.6},",
+                "\"faults_per_sec\":{:.1},\"op_steps\":{},",
+                "\"unique_lookups\":{},\"peak_nodes\":{}}}"
+            ),
+            self.circuit,
+            self.fault_model,
+            self.faults,
+            self.classes,
+            self.threads,
+            self.seconds,
+            self.faults_per_sec,
+            self.op_steps,
+            self.unique_lookups,
+            self.peak_nodes
+        )
+    }
+}
+
+/// Where the bench results land: `DP_BENCH_JSON` when set, else
+/// `BENCH_PR4.json` at the workspace root.
+fn bench_json_path() -> PathBuf {
+    match std::env::var_os("DP_BENCH_JSON") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json"),
+    }
+}
+
+/// Merges `record` into the bench results file (keyed by
+/// `circuit/fault_model/threads=N`), creating the file on first use. The
+/// format is one JSON object with one entry per line, so the file both
+/// parses as JSON and diffs line-by-line.
+pub fn record_bench_result(record: &BenchRecord) {
+    let path = bench_json_path();
+    let mut entries: BTreeMap<String, String> = BTreeMap::new();
+    if let Ok(existing) = std::fs::read_to_string(&path) {
+        for line in existing.lines() {
+            let line = line.trim().trim_end_matches(',');
+            // Entry lines look like `"key": {...}`; the braces lines don't.
+            let Some(rest) = line.strip_prefix('"') else {
+                continue;
+            };
+            if let Some((key, value)) = rest.split_once("\": ") {
+                entries.insert(key.to_string(), value.to_string());
+            }
+        }
+    }
+    entries.insert(record.key(), record.value_json());
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (key, value) in &entries {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{key}\": {value}"));
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
     }
 }

@@ -5,7 +5,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use dp_bdd::{BudgetConfig, Cube, NodeId};
 use dp_faults::{BridgeKind, Fault, FaultSite, StuckAtFault};
-use dp_netlist::{Circuit, Driver, NetId};
+use dp_netlist::{Circuit, Driver, NetId, Reachability};
 
 use crate::delta::{delta_output, naive_delta_output};
 use crate::error::AnalysisError;
@@ -141,6 +141,11 @@ struct SiteInit {
     site_nets: BTreeSet<usize>,
     /// Gates awaiting processing, in topological (index) order.
     worklist: BTreeSet<usize>,
+    /// Nets through which every fault effect must flow (the stuck net, a
+    /// branch's sink gate, a bridge's two wires). A primary output can see
+    /// the fault only if it lies in the fanout cone of one of these, so
+    /// outputs outside every cone carry a structurally ⊥ difference.
+    flow_nets: Vec<usize>,
 }
 
 /// The Difference Propagation analyser for one circuit.
@@ -156,6 +161,14 @@ pub struct DiffProp<'c> {
     /// Node-table size right after the last collection (or the initial
     /// build); the reference point for [`EngineConfig::gc_growth`].
     gc_baseline: usize,
+    /// Transitive-fanout relation, built once per engine. Drives the
+    /// cone-restricted propagation: per fault, the set of live primary
+    /// outputs (those in a fault site's fanout cone).
+    reach: Reachability,
+    /// Per-net cache of "reaches at least one primary output". Gates with a
+    /// `false` entry compute nothing observable, so the propagation frontier
+    /// never enters them.
+    feeds_output: Vec<bool>,
 }
 
 impl<'c> DiffProp<'c> {
@@ -173,12 +186,21 @@ impl<'c> DiffProp<'c> {
     pub fn with_config(circuit: &'c Circuit, config: EngineConfig) -> Self {
         let mut good = GoodFunctions::build(circuit);
         good.manager_mut().set_budget(config.budget);
+        Self::assemble(circuit, good, config)
+    }
+
+    /// Shared constructor tail: derive the structural caches.
+    fn assemble(circuit: &'c Circuit, good: GoodFunctions, config: EngineConfig) -> Self {
         let gc_baseline = good.num_nodes();
+        let reach = Reachability::compute(circuit);
+        let feeds_output = reach.feeds_output_flags(circuit);
         DiffProp {
             circuit,
             good,
             config,
             gc_baseline,
+            reach,
+            feeds_output,
         }
     }
 
@@ -194,13 +216,7 @@ impl<'c> DiffProp<'c> {
     ) -> Result<Self, AnalysisError> {
         let good = GoodFunctions::try_build(circuit, config.budget)
             .map_err(AnalysisError::BudgetExceeded)?;
-        let gc_baseline = good.num_nodes();
-        Ok(DiffProp {
-            circuit,
-            good,
-            config,
-            gc_baseline,
-        })
+        Ok(Self::assemble(circuit, good, config))
     }
 
     /// Creates an analyser around pre-built good functions (e.g. with a
@@ -210,13 +226,7 @@ impl<'c> DiffProp<'c> {
         good: GoodFunctions,
         config: EngineConfig,
     ) -> Self {
-        let gc_baseline = good.num_nodes();
-        DiffProp {
-            circuit,
-            good,
-            config,
-            gc_baseline,
-        }
+        Self::assemble(circuit, good, config)
     }
 
     /// Collects garbage if either trigger fires: the absolute
@@ -305,8 +315,11 @@ impl<'c> DiffProp<'c> {
                 init.site_nets.insert(f.a.index());
                 init.site_nets.insert(f.b.index());
                 for n in [f.a, f.b] {
+                    init.flow_nets.push(n.index());
                     for &(sink, _) in self.circuit.fanout(n) {
-                        init.worklist.insert(sink.index());
+                        if self.feeds_output[sink.index()] {
+                            init.worklist.insert(sink.index());
+                        }
                     }
                 }
             }
@@ -432,15 +445,22 @@ impl<'c> DiffProp<'c> {
             FaultSite::Net(n) => {
                 init.deltas.insert(n.index(), delta);
                 init.site_nets.insert(n.index());
+                init.flow_nets.push(n.index());
                 for &(sink, _) in self.circuit.fanout(n) {
-                    init.worklist.insert(sink.index());
+                    if self.feeds_output[sink.index()] {
+                        init.worklist.insert(sink.index());
+                    }
                 }
                 // A primary-input net that is also an output is directly
                 // observable; po_deltas picks it up from the map.
             }
             FaultSite::Branch(b) => {
+                // A branch fault flows exclusively through its sink gate.
                 init.branch_deltas.insert((b.sink.index(), b.pin), delta);
-                init.worklist.insert(b.sink.index());
+                init.flow_nets.push(b.sink.index());
+                if self.feeds_output[b.sink.index()] {
+                    init.worklist.insert(b.sink.index());
+                }
             }
         }
     }
@@ -448,6 +468,13 @@ impl<'c> DiffProp<'c> {
     /// Event-driven propagation in topological (index) order. Nets are
     /// stored fanins-before-fanouts, so ascending index order guarantees
     /// every fanin difference is final when a gate is processed.
+    ///
+    /// Cone-restricted: a primary output outside the fanout cone of every
+    /// [`SiteInit::flow_nets`] entry carries a structurally ⊥ difference, so
+    /// it is skipped in the collection and in the test-set `or`-reduction;
+    /// gates that feed no primary output never enter the frontier. Both
+    /// skips elide work whose result is the identity, so every returned
+    /// value is bit-identical to the unrestricted engine's.
     #[allow(clippy::type_complexity)]
     fn propagate(
         &mut self,
@@ -459,7 +486,17 @@ impl<'c> DiffProp<'c> {
             branch_deltas,
             site_nets,
             mut worklist,
+            flow_nets,
         } = init;
+        let po_live: Vec<bool> = circuit
+            .outputs()
+            .iter()
+            .map(|&o| {
+                flow_nets
+                    .iter()
+                    .any(|&f| self.reach.reaches(NetId::from_index(f), o))
+            })
+            .collect();
         let mut goods_buf: Vec<NodeId> = Vec::new();
         let mut deltas_buf: Vec<NodeId> = Vec::new();
         while let Some(idx) = worklist.pop_first() {
@@ -497,22 +534,36 @@ impl<'c> DiffProp<'c> {
             if !dg.is_false() || !self.config.selective_trace {
                 deltas.insert(idx, dg);
                 for &(sink, _) in circuit.fanout(net) {
-                    worklist.insert(sink.index());
+                    if self.feeds_output[sink.index()] {
+                        worklist.insert(sink.index());
+                    }
                 }
             }
         }
 
         // Collect per-output differences; the union is the complete test
-        // set. A branch fault never reaches its own stem's PO directly.
+        // set. A branch fault never reaches its own stem's PO directly, and
+        // an output off every fault cone is ⊥ without consulting the map.
         let po_deltas: Vec<NodeId> = circuit
             .outputs()
             .iter()
-            .map(|o| deltas.get(&o.index()).copied().unwrap_or(NodeId::FALSE))
+            .zip(&po_live)
+            .map(|(o, &live)| {
+                if live {
+                    deltas.get(&o.index()).copied().unwrap_or(NodeId::FALSE)
+                } else {
+                    NodeId::FALSE
+                }
+            })
             .collect();
         let m = self.good.manager_mut();
         let mut test_set = NodeId::FALSE;
-        for &d in &po_deltas {
-            test_set = m.or(test_set, d);
+        for (&d, &live) in po_deltas.iter().zip(&po_live) {
+            // `or` with ⊥ is the identity; skipping it saves the op-cache
+            // traffic without touching the result.
+            if live && !d.is_false() {
+                test_set = m.or(test_set, d);
+            }
         }
         let detectability = m.density(test_set);
         let test_count = (m.num_vars() <= 127).then(|| m.sat_count(test_set));

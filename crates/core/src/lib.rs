@@ -78,7 +78,7 @@ pub use error::AnalysisError;
 pub use good::GoodFunctions;
 pub use observability::Observability;
 pub use parallel::{
-    analyze_universe, analyze_universe_with, FallbackConfig, FaultOutcome, FaultSummary,
-    Parallelism, ShardReport, SweepResult,
+    analyze_universe, analyze_universe_with, sweep_universe, FallbackConfig, FaultOutcome,
+    FaultSummary, Parallelism, ShardReport, SweepConfig, SweepResult,
 };
 pub use redundancy::{find_redundancies, RedundancyReport};

@@ -1,48 +1,69 @@
-//! Sharded fault-universe analysis.
+//! Collapsed, work-stealing fault-universe analysis.
 //!
 //! A Difference Propagation sweep over a fault universe is embarrassingly
 //! parallel at the fault level: each analysis needs only the circuit, the
-//! good functions, and the fault itself. This module partitions a fault
-//! slice into contiguous shards, hands each shard to a worker that owns a
-//! **private** BDD [`Manager`](dp_bdd::Manager) + [`GoodFunctions`] (built
-//! once per shard), and merges the per-fault scalar results back in the
-//! original fault order.
+//! good functions, and the fault itself. This module adds the two classic
+//! structural levers on top of that parallelism, both output-invariant:
+//!
+//! * **Fault collapsing** ([`dp_faults::collapse_faults`]): structurally
+//!   equivalent stuck-at faults share one equivalence class, the engine
+//!   propagates only the class representative, and the summary is expanded
+//!   back to every member (adherence recomputed per member — it depends on
+//!   the member's own site syndrome). [`SweepConfig::collapse`] turns this
+//!   off for ablations.
+//! * **Work stealing**: instead of static contiguous shards, workers claim
+//!   fixed-size chunks of the class list from a shared atomic counter, so a
+//!   worker that drew cheap faults steals the next chunk instead of idling.
+//!   Each worker still owns a **private** BDD [`Manager`](dp_bdd::Manager) +
+//!   [`GoodFunctions`] built once per worker.
 //!
 //! # Determinism
 //!
 //! The merged results are **bit-identical to the serial engine regardless of
-//! thread count**. That is not an accident of scheduling but a consequence
-//! of OBDD canonicity: for a fixed variable order, every difference function
-//! a worker computes is the canonical DAG of the same Boolean function the
-//! serial engine computes, so the derived scalars (`sat_count`-based
-//! detectability and test counts, per-output observability, site-constancy)
-//! cannot depend on the manager's allocation history, cache contents, or
-//! which shard the fault landed in. The only sharding-visible artefacts are
-//! `NodeId` handles — which is why [`FaultSummary`] carries scalars only.
+//! thread count, chunk size, and collapsing**. That is not an accident of
+//! scheduling but a consequence of OBDD canonicity: for a fixed variable
+//! order, every difference function a worker computes is the canonical DAG
+//! of the same Boolean function the serial engine computes, so the derived
+//! scalars (`sat_count`-based detectability and test counts, per-output
+//! observability, site-constancy) cannot depend on the manager's allocation
+//! history, cache contents, or which worker claimed the fault. Collapsing
+//! preserves this bit-for-bit because equivalent faults *have the same
+//! difference function at every output* — the expansion copies scalars that
+//! are provably equal to what a direct analysis would produce, and
+//! recomputes the one scalar (adherence) that is not shared. Work stealing
+//! preserves it because summaries are keyed by global fault index and merged
+//! in index order — the claim order can only permute *where* a class is
+//! computed, never *what* its canonical result is.
 //!
 //! The same holds for the degraded path: a fallback estimate is seeded per
 //! *global* fault index ([`FallbackConfig::seed`] `+ index`), so a
-//! [`FaultOutcome::Bounded`] summary is also identical across thread counts.
+//! [`FaultOutcome::Bounded`] summary does not depend on which worker
+//! produced it. (Under a *finite budget* the set of faults that trip can
+//! still vary with scheduling, because a manager's budget window depends on
+//! its history; with the default unlimited budget every run is exact and
+//! fully deterministic.)
 //!
 //! # Panic isolation
 //!
-//! Workers run under [`std::panic::catch_unwind`]: a shard that panics
-//! (a buggy fault model, a poisoned circuit, an assertion deep in the
-//! engine) never takes the sweep down. Its [`ShardReport::panic`] carries
-//! the panic message, its summaries are omitted, and **every other shard's
-//! summaries are returned untouched** — [`SweepResult::summaries`] then
-//! covers the surviving shards' slices, still in input order. Callers that
-//! require full coverage check [`SweepResult::is_complete`].
+//! Each equivalence class is analysed under [`std::panic::catch_unwind`]: a
+//! fault that panics the engine (a buggy fault model, a poisoned circuit, an
+//! assertion deep in the engine) never takes the sweep down — its class's
+//! partial summaries are discarded, the worker rebuilds its engine, and
+//! **every other class's summaries are returned untouched**, still in input
+//! order. The worker's [`ShardReport::panic`] carries the first panic
+//! message. Callers that require full coverage check
+//! [`SweepResult::is_complete`].
 //!
 //! # Resource bounds and graceful degradation
 //!
-//! With a node/op budget in [`EngineConfig::budget`], a fault whose exact
+//! With a node/op budget in [`EngineConfig::budget`], a class whose exact
 //! analysis trips the budget is *not* lost: the sweep falls back to the
 //! packed-parallel fault simulator ([`dp_sim`]) for a sampled detectability
-//! estimate, and the summary is marked [`FaultOutcome::Bounded`] with the
-//! sample count. Exact results are marked [`FaultOutcome::Exact`]. With the
-//! default unlimited budget every outcome is `Exact` and the results are
-//! byte-for-byte those of the pre-budget engine.
+//! estimate per member, and each summary is marked
+//! [`FaultOutcome::Bounded`] with the sample count. Exact results are marked
+//! [`FaultOutcome::Exact`]. With the default unlimited budget every outcome
+//! is `Exact` and the results are byte-for-byte those of the pre-budget
+//! engine.
 //!
 //! # Examples
 //!
@@ -57,12 +78,18 @@
 //! let sharded = analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Threads(2));
 //! assert_eq!(serial.summaries, sharded.summaries);
 //! assert!(serial.is_complete());
+//! // Collapsing analysed fewer classes than there are faults…
+//! assert!(serial.classes < faults.len());
+//! // …but every fault still has its own summary.
+//! assert_eq!(serial.summaries.len(), faults.len());
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use dp_bdd::ManagerStats;
-use dp_faults::Fault;
+use dp_faults::{collapse_faults, CollapsedUniverse, Fault, FaultClass};
 use dp_netlist::Circuit;
 use dp_sim::sampled_fault_estimate;
 
@@ -90,11 +117,35 @@ impl Parallelism {
             Parallelism::Threads(n) => n.max(1),
         }
     }
+}
 
-    /// Shards actually used for `num_faults` faults: never more shards than
-    /// faults (an empty shard would build good functions for nothing).
-    fn shards_for(self, num_faults: usize) -> usize {
-        self.workers().min(num_faults).max(1)
+/// Full configuration of a fault-universe sweep — see [`sweep_universe`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepConfig {
+    /// Engine tuning (selective trace, Table 1, gc, budget).
+    pub engine: EngineConfig,
+    /// Worker threads.
+    pub parallelism: Parallelism,
+    /// Simulator fallback used when the budget trips.
+    pub fallback: FallbackConfig,
+    /// Structural fault collapsing: analyse one representative per
+    /// equivalence class (default). `false` restores one propagation per
+    /// fault — useful for ablation, never for results (they are identical).
+    pub collapse: bool,
+    /// Work-queue chunk size in *classes*. `None` picks a size that gives
+    /// each worker several claims without drowning the queue in contention.
+    pub chunk: Option<usize>,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            engine: EngineConfig::default(),
+            parallelism: Parallelism::Serial,
+            fallback: FallbackConfig::default(),
+            collapse: true,
+            chunk: None,
+        }
     }
 }
 
@@ -183,21 +234,35 @@ impl FaultSummary {
     }
 }
 
-/// What one shard did: its slice of the universe and its manager's counters.
+/// What one worker did: the work it claimed from the shared queue and its
+/// private manager's counters.
 #[derive(Debug, Clone)]
 pub struct ShardReport {
-    /// Shard index in `0..shards` (shard order is fault order).
+    /// Worker index in `0..workers`.
     pub shard: usize,
-    /// Global index of the shard's first fault in the input slice.
-    pub first_fault: usize,
-    /// Number of faults assigned to this shard. All of them are summarised
-    /// unless [`ShardReport::panic`] is set, in which case none are.
-    pub faults: usize,
-    /// Counters of the shard's private BDD manager at the end of its run
-    /// (default counters when the shard panicked or never built an engine).
+    /// Chunks this worker claimed from the shared queue. Zero means the
+    /// queue was drained before the worker got a turn — its manager was
+    /// never built and its counters are all default.
+    pub chunks_claimed: usize,
+    /// Equivalence classes this worker processed — one BDD propagation pass
+    /// each (or one sampled estimate per member when the engine is
+    /// budget-starved). Summed over workers this always equals
+    /// [`SweepResult::classes`], panics included.
+    pub classes_done: usize,
+    /// Faults this worker summarised (members of its claimed classes,
+    /// minus any class lost to a panic).
+    pub faults_done: usize,
+    /// Wall-clock time spent inside claimed chunks — the load-balance
+    /// signal: with work stealing, busy times should be close across
+    /// workers even when per-fault costs are wildly skewed.
+    pub busy: Duration,
+    /// Counters of the worker's private BDD manager at the end of its run
+    /// (default counters when the worker claimed nothing or never built an
+    /// engine).
     pub stats: ManagerStats,
-    /// The panic message, if this shard's worker panicked. Its faults have
-    /// no summaries; other shards are unaffected.
+    /// The first panic message, if any class this worker claimed panicked.
+    /// That class's faults have no summaries; all other classes (including
+    /// this worker's later claims) are unaffected.
     pub panic: Option<String>,
 }
 
@@ -205,29 +270,32 @@ pub struct ShardReport {
 /// order plus one [`ShardReport`] per worker.
 #[derive(Debug, Clone)]
 pub struct SweepResult {
-    /// One summary per input fault of every non-panicked shard, in input
+    /// One summary per input fault of every non-panicked class, in input
     /// order. Equal in length to the input universe iff
     /// [`SweepResult::is_complete`].
     pub summaries: Vec<FaultSummary>,
-    /// One report per shard, in shard (= fault) order.
+    /// One report per worker, in worker order.
     pub shards: Vec<ShardReport>,
+    /// Equivalence classes actually analysed (= BDD propagations needed);
+    /// equals the universe size when collapsing is off or nothing merged.
+    pub classes: usize,
 }
 
 impl SweepResult {
-    /// All shard counters merged into a sweep-level view
-    /// (sums, with `peak_nodes` taking the max across shards).
+    /// All worker counters merged into a sweep-level view
+    /// (sums, with `peak_nodes` taking the max across workers).
     pub fn merged_stats(&self) -> ManagerStats {
         self.shards
             .iter()
             .fold(ManagerStats::default(), |acc, s| acc.merged(&s.stats))
     }
 
-    /// `true` when no shard panicked — every input fault has a summary.
+    /// `true` when no class panicked — every input fault has a summary.
     pub fn is_complete(&self) -> bool {
         self.shards.iter().all(|s| s.panic.is_none())
     }
 
-    /// The shards that panicked (empty on a healthy sweep).
+    /// The workers that saw a panic (empty on a healthy sweep).
     pub fn failed_shards(&self) -> Vec<&ShardReport> {
         self.shards.iter().filter(|s| s.panic.is_some()).collect()
     }
@@ -241,11 +309,11 @@ impl SweepResult {
     }
 }
 
-/// Analyses every fault in `faults` against `circuit`, sharded according to
-/// `parallelism`, and returns summaries **in the input fault order**.
+/// Analyses every fault in `faults` against `circuit` and returns summaries
+/// **in the input fault order**.
 ///
-/// Equivalent to [`analyze_universe_with`] under the default
-/// [`FallbackConfig`]. With the default unlimited
+/// Equivalent to [`sweep_universe`] with the given `parallelism`, default
+/// [`FallbackConfig`], and collapsing **on**. With the default unlimited
 /// [`EngineConfig::budget`] every summary is exact and the fallback is
 /// never consulted.
 pub fn analyze_universe(
@@ -257,18 +325,7 @@ pub fn analyze_universe(
     analyze_universe_with(circuit, faults, config, parallelism, FallbackConfig::default())
 }
 
-/// Analyses every fault in `faults` against `circuit`, sharded according to
-/// `parallelism`, with an explicit simulator-fallback configuration.
-///
-/// Each shard builds its own [`GoodFunctions`](crate::GoodFunctions) once and
-/// reuses them for all its faults, exactly like a serial [`DiffProp`] would;
-/// `Parallelism::Serial` runs the identical single-shard code path on the
-/// calling thread. Results are bit-identical across all `parallelism`
-/// settings (see the module docs).
-///
-/// This function does not panic on worker failure: shard panics are caught
-/// and reported per shard, and budget trips degrade per fault to sampled
-/// estimates (see the module docs on panic isolation and degradation).
+/// [`analyze_universe`] with an explicit simulator-fallback configuration.
 pub fn analyze_universe_with(
     circuit: &Circuit,
     faults: &[Fault],
@@ -276,89 +333,229 @@ pub fn analyze_universe_with(
     parallelism: Parallelism,
     fallback: FallbackConfig,
 ) -> SweepResult {
-    let shards = parallelism.shards_for(faults.len());
-    let chunk_len = faults.len().div_ceil(shards);
-    if shards <= 1 {
-        let outcome = run_shard_caught(circuit, faults, 0, config, fallback);
-        return merge_shards(faults.len(), vec![(0, faults.len(), outcome)]);
-    }
-
-    let chunks: Vec<(usize, &[Fault])> = faults
-        .chunks(chunk_len)
-        .enumerate()
-        .map(|(i, chunk)| (i * chunk_len, chunk))
-        .collect();
-    let per_shard: Vec<(usize, usize, ShardOutcome)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|&(first, chunk)| {
-                let handle =
-                    scope.spawn(move || run_shard_caught(circuit, chunk, first, config, fallback));
-                (first, chunk.len(), handle)
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|(first, len, h)| {
-                // run_shard_caught already absorbs engine panics; join only
-                // fails if the catch machinery itself unwound.
-                let outcome = h
-                    .join()
-                    .unwrap_or_else(|payload| Err(panic_message(payload.as_ref())));
-                (first, len, outcome)
-            })
-            .collect()
-    });
-    merge_shards(faults.len(), per_shard)
+    sweep_universe(
+        circuit,
+        faults,
+        &SweepConfig {
+            engine: config,
+            parallelism,
+            fallback,
+            ..Default::default()
+        },
+    )
 }
 
-type ShardOutcome = Result<(Vec<FaultSummary>, ManagerStats), String>;
-
-/// Contiguous chunks merged in shard order reconstruct the input order;
-/// panicked shards contribute a report (with the message) but no summaries.
-fn merge_shards(universe: usize, per_shard: Vec<(usize, usize, ShardOutcome)>) -> SweepResult {
-    let mut summaries = Vec::with_capacity(universe);
-    let mut reports = Vec::with_capacity(per_shard.len());
-    for (shard, (first_fault, assigned, outcome)) in per_shard.into_iter().enumerate() {
-        match outcome {
-            Ok((shard_summaries, stats)) => {
-                debug_assert_eq!(shard_summaries.len(), assigned);
-                reports.push(ShardReport {
-                    shard,
-                    first_fault,
-                    faults: assigned,
-                    stats,
-                    panic: None,
-                });
-                summaries.extend(shard_summaries);
-            }
-            Err(message) => reports.push(ShardReport {
-                shard,
-                first_fault,
-                faults: assigned,
-                stats: ManagerStats::default(),
-                panic: Some(message),
-            }),
+/// The full sweep entry point: collapse the universe, fan the classes out
+/// over a work-stealing queue, and merge summaries back into input order.
+///
+/// Each worker builds its own [`GoodFunctions`](crate::GoodFunctions) once
+/// (lazily, on its first claimed chunk) and reuses them for all its classes,
+/// exactly like a serial [`DiffProp`] would; `Parallelism::Serial` runs the
+/// identical single-worker code path on the calling thread. Results are
+/// bit-identical across all `parallelism`, `chunk`, and `collapse` settings
+/// (see the module docs).
+///
+/// This function does not panic on worker failure: class panics are caught
+/// and reported per worker, and budget trips degrade per fault to sampled
+/// estimates (see the module docs on panic isolation and degradation).
+pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig) -> SweepResult {
+    let collapsed = if config.collapse {
+        collapse_faults(circuit, faults)
+    } else {
+        CollapsedUniverse {
+            classes: (0..faults.len())
+                .map(|i| FaultClass {
+                    representative: i,
+                    members: vec![i],
+                })
+                .collect(),
+            num_faults: faults.len(),
         }
+    };
+    let classes = collapsed.classes.as_slice();
+    // Never more workers than classes: an extra worker would build good
+    // functions only to find the queue drained.
+    let workers = config.parallelism.workers().min(classes.len()).max(1);
+    let chunk = config
+        .chunk
+        .unwrap_or_else(|| classes.len().div_ceil(workers * 8).clamp(1, 32))
+        .max(1);
+    let next = AtomicUsize::new(0);
+
+    let parts: Vec<(Vec<(usize, FaultSummary)>, ShardReport)> = if workers <= 1 {
+        vec![run_worker(circuit, faults, classes, &next, chunk, 0, config)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let next = &next;
+                    scope.spawn(move || run_worker(circuit, faults, classes, next, chunk, w, config))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(w, h)| {
+                    // run_worker catches engine panics per class; join only
+                    // fails if the catch machinery itself unwound.
+                    h.join().unwrap_or_else(|payload| {
+                        (
+                            Vec::new(),
+                            ShardReport {
+                                shard: w,
+                                chunks_claimed: 0,
+                                classes_done: 0,
+                                faults_done: 0,
+                                busy: Duration::ZERO,
+                                stats: ManagerStats::default(),
+                                panic: Some(panic_message(payload.as_ref())),
+                            },
+                        )
+                    })
+                })
+                .collect()
+        })
+    };
+
+    // Merge in global fault order: indices are unique (each fault belongs
+    // to exactly one class, each class to exactly one claim), so a sort by
+    // index reconstructs the input order regardless of who computed what.
+    let mut indexed: Vec<(usize, FaultSummary)> = Vec::with_capacity(faults.len());
+    let mut reports = Vec::with_capacity(parts.len());
+    for (summaries, report) in parts {
+        indexed.extend(summaries);
+        reports.push(report);
     }
+    indexed.sort_by_key(|&(i, _)| i);
+    debug_assert!(indexed.windows(2).all(|w| w[0].0 < w[1].0));
     SweepResult {
-        summaries,
+        summaries: indexed.into_iter().map(|(_, s)| s).collect(),
         shards: reports,
+        classes: classes.len(),
     }
 }
 
-/// Runs one shard with panics converted into an `Err(message)`.
-fn run_shard_caught(
+/// One worker: claim chunks of classes from the shared queue until drained.
+///
+/// The engine is built lazily on the first claim (a worker that never gets
+/// a turn costs nothing) and rebuilt after a class panic (the manager may
+/// be mid-operation when the unwind happens).
+fn run_worker(
     circuit: &Circuit,
     faults: &[Fault],
-    first_fault: usize,
-    config: EngineConfig,
+    classes: &[FaultClass],
+    next: &AtomicUsize,
+    chunk: usize,
+    worker: usize,
+    config: &SweepConfig,
+) -> (Vec<(usize, FaultSummary)>, ShardReport) {
+    let mut out: Vec<(usize, FaultSummary)> = Vec::new();
+    let mut report = ShardReport {
+        shard: worker,
+        chunks_claimed: 0,
+        classes_done: 0,
+        faults_done: 0,
+        busy: Duration::ZERO,
+        stats: ManagerStats::default(),
+        panic: None,
+    };
+    let mut dp: Option<DiffProp> = None;
+    let mut built = false;
+    loop {
+        let lo = next.fetch_add(1, Ordering::Relaxed) * chunk;
+        if lo >= classes.len() {
+            break;
+        }
+        let hi = (lo + chunk).min(classes.len());
+        report.chunks_claimed += 1;
+        let t0 = Instant::now();
+        if !built {
+            // A budget too small for the good functions leaves `dp` as
+            // `None`: every class this worker claims is then estimated by
+            // simulation.
+            dp = DiffProp::try_with_config(circuit, config.engine).ok();
+            built = true;
+        }
+        for class in &classes[lo..hi] {
+            report.classes_done += 1;
+            let mark = out.len();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                summarize_class(circuit, &mut dp, faults, class, config.fallback, &mut out)
+            }));
+            match caught {
+                Ok(()) => report.faults_done += class.members.len(),
+                Err(payload) => {
+                    // Drop any partial member summaries of the poisoned
+                    // class and rebuild the engine — the unwind may have
+                    // left the manager mid-operation.
+                    out.truncate(mark);
+                    if report.panic.is_none() {
+                        report.panic = Some(panic_message(payload.as_ref()));
+                    }
+                    dp = catch_unwind(AssertUnwindSafe(|| {
+                        DiffProp::try_with_config(circuit, config.engine).ok()
+                    }))
+                    .unwrap_or(None);
+                }
+            }
+        }
+        report.busy += t0.elapsed();
+    }
+    report.stats = dp
+        .map(|dp| dp.good().manager().stats().clone())
+        .unwrap_or_default();
+    (out, report)
+}
+
+/// Analyses one class's representative and expands the result to every
+/// member (or samples every member when the budget trips).
+///
+/// Shared scalars (detectability, test count, observability flags, site
+/// constancy) are equal for all members by fault equivalence + OBDD
+/// canonicity. Adherence is *not* shared: its syndrome bound belongs to the
+/// member's own site net, so it is recomputed per member — which keeps the
+/// expansion bit-identical to analysing each member directly.
+fn summarize_class(
+    circuit: &Circuit,
+    dp: &mut Option<DiffProp<'_>>,
+    faults: &[Fault],
+    class: &FaultClass,
     fallback: FallbackConfig,
-) -> ShardOutcome {
-    catch_unwind(AssertUnwindSafe(|| {
-        analyze_shard(circuit, faults, first_fault, config, fallback)
-    }))
-    .map_err(|payload| panic_message(payload.as_ref()))
+    out: &mut Vec<(usize, FaultSummary)>,
+) {
+    let exact = dp
+        .as_mut()
+        .and_then(|dp| dp.try_analyze(&faults[class.representative]).ok().map(|a| (dp, a)));
+    match exact {
+        Some((dp, analysis)) => {
+            for &m in &class.members {
+                let fault = faults[m];
+                let adherence = dp
+                    .detectability_bound(&fault)
+                    .and_then(|u| (u > 0.0).then(|| analysis.detectability / u));
+                out.push((
+                    m,
+                    FaultSummary {
+                        fault,
+                        detectability: analysis.detectability,
+                        test_count: analysis.test_count,
+                        observable_outputs: analysis.observable_outputs.clone(),
+                        site_function_constant: analysis.site_function_constant,
+                        adherence,
+                        outcome: FaultOutcome::Exact,
+                    },
+                ));
+            }
+        }
+        None => {
+            // Budget trip (or no engine at all): every member gets its own
+            // estimate, seeded by its own global index — never a copy of
+            // the representative's.
+            for &m in &class.members {
+                out.push((m, sampled_summary(circuit, &faults[m], m, fallback)));
+            }
+        }
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -367,49 +564,8 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
-        "shard worker panicked with a non-string payload".to_string()
+        "sweep worker panicked with a non-string payload".to_string()
     }
-}
-
-/// The worker: one private engine, one contiguous slice of the universe.
-///
-/// A budget trip — on the good-function build or on any individual fault —
-/// degrades to the sampled-simulation fallback for the affected fault(s);
-/// the engine itself recovers and continues exactly on the rest.
-fn analyze_shard(
-    circuit: &Circuit,
-    faults: &[Fault],
-    first_fault: usize,
-    config: EngineConfig,
-    fallback: FallbackConfig,
-) -> (Vec<FaultSummary>, ManagerStats) {
-    // If even the good functions blow the budget, every fault of the shard
-    // is estimated by simulation.
-    let mut dp = DiffProp::try_with_config(circuit, config).ok();
-    let summaries = faults
-        .iter()
-        .enumerate()
-        .map(|(i, fault)| {
-            let exact = dp.as_mut().and_then(|dp| {
-                let analysis = dp.try_analyze(fault).ok()?;
-                let adherence = dp.adherence(&analysis);
-                Some(FaultSummary {
-                    fault: *fault,
-                    detectability: analysis.detectability,
-                    test_count: analysis.test_count,
-                    observable_outputs: analysis.observable_outputs,
-                    site_function_constant: analysis.site_function_constant,
-                    adherence,
-                    outcome: FaultOutcome::Exact,
-                })
-            });
-            exact.unwrap_or_else(|| sampled_summary(circuit, fault, first_fault + i, fallback))
-        })
-        .collect();
-    let stats = dp
-        .map(|dp| dp.good().manager().stats().clone())
-        .unwrap_or_default();
-    (summaries, stats)
 }
 
 /// Simulator fallback: a sampled [`FaultSummary`], deterministically seeded
@@ -467,6 +623,8 @@ mod tests {
         }
     }
 
+    /// The collapsed sweep must be indistinguishable per fault from direct
+    /// engine analysis — the core expansion bit-identity check.
     #[test]
     fn serial_matches_engine_directly() {
         let circuit = c17();
@@ -477,6 +635,7 @@ mod tests {
             EngineConfig::default(),
             Parallelism::Serial,
         );
+        assert!(sweep.classes < faults.len(), "c17 checkpoints collapse");
         let mut dp = DiffProp::new(&circuit);
         assert_eq!(sweep.summaries.len(), faults.len());
         for (summary, fault) in sweep.summaries.iter().zip(&faults) {
@@ -487,6 +646,48 @@ mod tests {
             assert_eq!(summary.observable_outputs, a.observable_outputs);
             assert_eq!(summary.site_function_constant, a.site_function_constant);
             assert_eq!(summary.outcome, FaultOutcome::Exact);
+            match (summary.adherence, dp.adherence(&a)) {
+                (Some(p), Some(q)) => assert_eq!(p.to_bits(), q.to_bits(), "{fault}"),
+                (None, None) => {}
+                other => panic!("adherence mismatch on {fault}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn collapsing_off_is_bit_identical() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let on = sweep_universe(&circuit, &faults, &SweepConfig::default());
+        let off = sweep_universe(
+            &circuit,
+            &faults,
+            &SweepConfig {
+                collapse: false,
+                ..Default::default()
+            },
+        );
+        assert!(on.classes < off.classes);
+        assert_eq!(off.classes, faults.len());
+        assert_bit_identical(&on.summaries, &off.summaries);
+    }
+
+    #[test]
+    fn chunk_size_does_not_change_results() {
+        let circuit = c17();
+        let faults = stuck_at_universe(&circuit);
+        let reference = sweep_universe(&circuit, &faults, &SweepConfig::default());
+        for chunk in [1, 3, 1000] {
+            let other = sweep_universe(
+                &circuit,
+                &faults,
+                &SweepConfig {
+                    parallelism: Parallelism::Threads(3),
+                    chunk: Some(chunk),
+                    ..Default::default()
+                },
+            );
+            assert_bit_identical(&reference.summaries, &other.summaries);
         }
     }
 
@@ -513,6 +714,8 @@ mod tests {
         let config = EngineConfig::default();
         let serial = analyze_universe(&circuit, &faults, config, Parallelism::Serial);
         let sharded = analyze_universe(&circuit, &faults, config, Parallelism::Threads(4));
+        // Bridges never collapse: classes == universe size.
+        assert_eq!(serial.classes, faults.len());
         assert_bit_identical(&serial.summaries, &sharded.summaries);
     }
 
@@ -527,12 +730,19 @@ mod tests {
             Parallelism::Threads(64),
         );
         assert_eq!(sweep.summaries.len(), 3);
-        assert_eq!(sweep.shards.len(), 3, "no empty shards");
-        assert!(sweep.shards.iter().all(|s| s.faults == 1));
+        assert!(
+            sweep.shards.len() <= 3,
+            "never more workers than classes (got {})",
+            sweep.shards.len()
+        );
+        assert_eq!(
+            sweep.shards.iter().map(|s| s.faults_done).sum::<usize>(),
+            3
+        );
     }
 
     #[test]
-    fn empty_universe_yields_one_idle_shard() {
+    fn empty_universe_yields_one_idle_worker() {
         let circuit = c17();
         let sweep = analyze_universe(
             &circuit,
@@ -541,8 +751,11 @@ mod tests {
             Parallelism::Threads(4),
         );
         assert!(sweep.summaries.is_empty());
+        assert_eq!(sweep.classes, 0);
         assert_eq!(sweep.shards.len(), 1);
-        assert_eq!(sweep.shards[0].faults, 0);
+        assert_eq!(sweep.shards[0].chunks_claimed, 0);
+        assert_eq!(sweep.shards[0].classes_done, 0);
+        assert_eq!(sweep.shards[0].faults_done, 0);
         assert!(sweep.is_complete());
     }
 
@@ -558,13 +771,22 @@ mod tests {
         );
         assert_eq!(sweep.shards.len(), 2);
         assert_eq!(
-            sweep.shards.iter().map(|s| s.faults).sum::<usize>(),
+            sweep.shards.iter().map(|s| s.faults_done).sum::<usize>(),
             faults.len()
         );
-        assert_eq!(sweep.shards[0].first_fault, 0);
-        assert_eq!(sweep.shards[1].first_fault, sweep.shards[0].faults);
+        assert_eq!(
+            sweep.shards.iter().map(|s| s.classes_done).sum::<usize>(),
+            sweep.classes,
+            "every class is processed by exactly one worker"
+        );
+        assert!(sweep.shards.iter().map(|s| s.chunks_claimed).sum::<usize>() >= 1);
         for report in &sweep.shards {
-            // Every shard built good functions and propagated differences.
+            if report.chunks_claimed == 0 {
+                // Starved worker: never built an engine, default counters.
+                assert_eq!(report.faults_done, 0);
+                continue;
+            }
+            // Every working shard built good functions and propagated.
             assert!(report.stats.unique.lookups > 0, "shard {}", report.shard);
             assert!(report.stats.peak_nodes > 2, "shard {}", report.shard);
         }
@@ -597,18 +819,19 @@ mod tests {
 
     /// A fault referencing a net of a *different* circuit makes the engine
     /// panic (index out of bounds) — exactly the class of failure the sweep
-    /// must contain to one shard.
+    /// must contain to one equivalence class.
     fn foreign_fault() -> Fault {
         let alu = alu74181();
         Fault::from(checkpoint_faults(&alu).pop().expect("alu has faults"))
     }
 
     #[test]
-    fn panicking_shard_is_isolated_and_survivors_are_returned() {
+    fn panicking_class_is_isolated_and_survivors_are_returned() {
         let circuit = c17();
         let mut faults = stuck_at_universe(&circuit);
-        // Append a poisoned fault: with two shards the first gets the top
-        // half of the healthy faults and the poison lands in the second.
+        let healthy = faults.len();
+        // Append a poisoned fault; it forms a singleton class, so exactly
+        // one class is lost and every healthy fault survives.
         faults.push(foreign_fault());
         let sweep = analyze_universe(
             &circuit,
@@ -618,20 +841,22 @@ mod tests {
         );
         assert!(!sweep.is_complete());
         let failed = sweep.failed_shards();
-        assert_eq!(failed.len(), 1);
-        assert_eq!(failed[0].shard, 1);
+        assert_eq!(failed.len(), 1, "one worker saw the poisoned class");
         assert!(failed[0].panic.is_some());
-        // The surviving shard's summaries are intact and bit-identical to a
-        // clean serial run over the same prefix.
-        let prefix = sweep.shards[0].faults;
-        assert_eq!(sweep.summaries.len(), prefix);
+        // Every healthy fault's summary survives, bit-identical to a clean
+        // serial run over the healthy universe.
+        assert_eq!(sweep.summaries.len(), healthy);
         let clean = analyze_universe(
             &circuit,
-            &faults[..prefix],
+            &faults[..healthy],
             EngineConfig::default(),
             Parallelism::Serial,
         );
         assert_bit_identical(&clean.summaries, &sweep.summaries);
+        assert_eq!(
+            sweep.shards.iter().map(|s| s.faults_done).sum::<usize>(),
+            healthy
+        );
     }
 
     #[test]
@@ -648,6 +873,36 @@ mod tests {
         assert!(sweep.summaries.is_empty());
         assert_eq!(sweep.shards.len(), 1);
         assert!(sweep.shards[0].panic.is_some());
+    }
+
+    #[test]
+    fn worker_survives_a_panic_and_finishes_its_queue() {
+        // Poison in the middle of a serial queue: everything before *and*
+        // after must still be summarised (the engine is rebuilt).
+        let circuit = c17();
+        let mut faults = stuck_at_universe(&circuit);
+        let healthy: Vec<Fault> = faults.clone();
+        faults.insert(faults.len() / 2, foreign_fault());
+        let sweep = analyze_universe(
+            &circuit,
+            &faults,
+            EngineConfig::default(),
+            Parallelism::Serial,
+        );
+        assert!(!sweep.is_complete());
+        assert_eq!(sweep.summaries.len(), healthy.len());
+        let clean = analyze_universe(
+            &circuit,
+            &healthy,
+            EngineConfig::default(),
+            Parallelism::Serial,
+        );
+        // Orders agree because merge is by global index and the poisoned
+        // index simply drops out.
+        for (s, c) in sweep.summaries.iter().zip(&clean.summaries) {
+            assert_eq!(s.fault, c.fault);
+            assert_eq!(s.test_count, c.test_count);
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 
 use dp_netlist::{Circuit, Driver, GateKind, NetId};
 
-use crate::reach::Reachability;
+use dp_netlist::Reachability;
 
 /// The wired-logic behaviour of a bridge: zero-dominant logic gives
 /// wired-AND bridges, one-dominant logic wired-OR (paper §2.2).

@@ -13,6 +13,9 @@
 //!   estimated coordinates, Euclidean distance normalised to the largest
 //!   pair distance, selection weighted by the exponential density
 //!   `f(z) = (1/θ)·e^(−z/θ)`.
+//! * [`collapse_faults`] — structural equivalence classes over a mixed fault
+//!   universe (fanout-free controlled-gate and BUF/NOT forwarding applied to
+//!   a fixpoint), so sweep engines propagate one representative per class.
 //!
 //! # Examples
 //!
@@ -30,11 +33,12 @@
 //! ```
 
 mod bridging;
-mod reach;
+mod collapse;
 mod sample;
 mod stuck;
 
 pub use bridging::{enumerate_nfbfs, BridgeKind, BridgingFault};
+pub use collapse::{canonical_stuck_at, collapse_faults, CollapsedUniverse, FaultClass};
 pub use sample::{sample_nfbfs, tune_theta, SampleConfig};
 pub use stuck::{
     all_stuck_faults, checkpoint_faults, collapse_checkpoint_faults, FaultSite, StuckAtFault,

@@ -6,6 +6,9 @@
 //! * a validated combinational circuit IR ([`Circuit`], [`CircuitBuilder`]):
 //!   single-driver nets, acyclicity, topological order, levelisation, fanin /
 //!   fanout cones,
+//! * a dense transitive-fanout **reachability matrix** ([`Reachability`])
+//!   shared by the bridging-fault feedback screen and the cone-restricted
+//!   propagation engine,
 //! * an ISCAS-85 **`.bench`** parser and writer ([`parse_bench`],
 //!   [`write_bench`]) so the original Brglez–Fujiwara netlists drop in
 //!   unmodified,
@@ -33,6 +36,7 @@ mod bench_format;
 mod circuit;
 mod error;
 pub mod generators;
+mod reach;
 mod scoap;
 mod topology;
 mod transform;
@@ -40,6 +44,7 @@ mod transform;
 pub use bench_format::{parse_bench, write_bench};
 pub use circuit::{Circuit, CircuitBuilder, Driver, FanoutBranch, GateKind, NetId};
 pub use error::NetlistError;
+pub use reach::Reachability;
 pub use scoap::Scoap;
 pub use topology::{Placement, Point};
 pub use transform::{decompose_two_input, expand_xor_to_nand};

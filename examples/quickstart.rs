@@ -77,9 +77,11 @@ fn main() {
     println!("\nsharded sweep over {} checkpoint faults:", universe.len());
     for report in &sweep.shards {
         println!(
-            "  shard {}: {} faults, unique-table hit rate {:.1}%, peak {} nodes",
+            "  worker {}: {} faults ({} classes) in {} chunks, unique-table hit rate {:.1}%, peak {} nodes",
             report.shard,
-            report.faults,
+            report.faults_done,
+            report.classes_done,
+            report.chunks_claimed,
             100.0 * report.stats.unique.hit_rate(),
             report.stats.peak_nodes
         );

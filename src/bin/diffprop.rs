@@ -19,6 +19,11 @@
 //!   fault simulation and its row is marked `bounded` instead of `exact`.
 //! * `--fallback-samples N` sets the number of random vectors for those
 //!   estimates (default 4096; rounded up to a multiple of 64).
+//! * `--threads N` shards the sweep over N work-stealing workers; the
+//!   printed rows are bit-identical to the serial run.
+//! * `--no-collapse` turns off structural fault collapsing (one BDD
+//!   propagation per fault instead of per equivalence class) — an ablation
+//!   knob; the rows are identical either way.
 //!
 //! Without `--node-budget` every analysis is exact and the output is
 //! identical to the unbudgeted engine's.
@@ -27,8 +32,8 @@ use diffprop::analysis::{
     analyze_faults, bridging_universe, records_from_sweep, stuck_at_universe, Histogram,
 };
 use diffprop::core::{
-    analyze_universe_with, find_redundancies, generate_tests, BudgetConfig, EngineConfig,
-    FallbackConfig, Parallelism,
+    find_redundancies, generate_tests, sweep_universe, BudgetConfig, EngineConfig,
+    FallbackConfig, Parallelism, SweepConfig,
 };
 use diffprop::faults::BridgeKind;
 use diffprop::netlist::{generators, parse_bench, Circuit, Scoap};
@@ -59,19 +64,23 @@ fn load(arg: &str) -> Circuit {
 fn usage() -> ! {
     eprintln!(
         "usage: diffprop <stats|analyze|atpg|redundancy|bridges> <circuit> [n] \
-         [--node-budget N] [--fallback-samples N]\n\
+         [--node-budget N] [--fallback-samples N] [--threads N] [--no-collapse]\n\
          circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench\n\
          --node-budget N       cap BDD nodes per analysis; over-budget faults degrade to\n\
                                sampled simulation estimates (analyze command)\n\
-         --fallback-samples N  random vectors per degraded estimate (default 4096)"
+         --fallback-samples N  random vectors per degraded estimate (default 4096)\n\
+         --threads N           work-stealing sweep workers (analyze command; output unchanged)\n\
+         --no-collapse         one propagation per fault instead of per equivalence class"
     );
     std::process::exit(2);
 }
 
-/// Resource-bounding options shared by the subcommands.
+/// Resource-bounding and sweep options shared by the subcommands.
 struct Opts {
     node_budget: Option<usize>,
     fallback_samples: u64,
+    threads: usize,
+    collapse: bool,
 }
 
 impl Opts {
@@ -79,6 +88,14 @@ impl Opts {
         match self.node_budget {
             Some(n) => BudgetConfig::with_max_nodes(n),
             None => BudgetConfig::UNLIMITED,
+        }
+    }
+
+    fn parallelism(&self) -> Parallelism {
+        if self.threads <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(self.threads)
         }
     }
 }
@@ -90,6 +107,8 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
     let mut opts = Opts {
         node_budget: None,
         fallback_samples: 4096,
+        threads: 1,
+        collapse: true,
     };
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -118,6 +137,14 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
                     usage()
                 });
             }
+            "--threads" => {
+                let v = value("--threads");
+                opts.threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: `{v}` is not a number");
+                    usage()
+                });
+            }
+            "--no-collapse" => opts.collapse = false,
             f if f.starts_with("--") => {
                 eprintln!("unknown option {f}");
                 usage()
@@ -185,7 +212,23 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
         samples: opts.fallback_samples,
         ..Default::default()
     };
-    let sweep = analyze_universe_with(circuit, &faults, config, Parallelism::Serial, fallback);
+    let sweep = sweep_universe(
+        circuit,
+        &faults,
+        &SweepConfig {
+            engine: config,
+            parallelism: opts.parallelism(),
+            fallback,
+            collapse: opts.collapse,
+            chunk: None,
+        },
+    );
+    eprintln!(
+        "{} faults in {} equivalence classes over {} worker(s)",
+        faults.len(),
+        sweep.classes,
+        sweep.shards.len()
+    );
     println!(
         "{:<28} {:>10} {:>12} {:>10} {:>6} {:>8}",
         "fault", "det prob", "exact tests", "adherence", "POs", "outcome"

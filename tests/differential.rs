@@ -160,7 +160,7 @@ fn golden_universes() -> Vec<(String, &'static str, Vec<Fault>)> {
     out
 }
 
-fn current_golden_lines() -> Vec<String> {
+fn current_golden_lines(parallelism: Parallelism) -> Vec<String> {
     let mut lines = Vec::new();
     for (name, model, faults) in golden_universes() {
         let circuit = match name.as_str() {
@@ -169,8 +169,7 @@ fn current_golden_lines() -> Vec<String> {
             "c95" => c95(),
             other => panic!("unknown golden circuit {other}"),
         };
-        let sweep =
-            analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Serial);
+        let sweep = analyze_universe(&circuit, &faults, EngineConfig::default(), parallelism);
         for (idx, summary) in sweep.summaries.iter().enumerate() {
             lines.push(summary_line(&name, model, idx, summary));
         }
@@ -178,13 +177,7 @@ fn current_golden_lines() -> Vec<String> {
     lines
 }
 
-#[test]
-fn golden_universe_summaries_are_bit_identical() {
-    let lines = current_golden_lines();
-    if std::env::var_os("DP_UPDATE_GOLDEN").is_some() {
-        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write golden file");
-        return;
-    }
+fn assert_matches_golden(lines: &[String]) {
     let golden = std::fs::read_to_string(GOLDEN_PATH)
         .expect("golden file missing; run with DP_UPDATE_GOLDEN=1 to capture");
     let golden: Vec<&str> = golden.lines().collect();
@@ -193,9 +186,27 @@ fn golden_universe_summaries_are_bit_identical() {
         lines.len(),
         "universe size changed; engine no longer enumerates the golden faults"
     );
-    for (want, got) in golden.iter().zip(&lines) {
+    for (want, got) in golden.iter().zip(lines) {
         assert_eq!(want, got, "summary drifted from pre-complement-edge golden");
     }
+}
+
+#[test]
+fn golden_universe_summaries_are_bit_identical() {
+    let lines = current_golden_lines(Parallelism::Serial);
+    if std::env::var_os("DP_UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write golden file");
+        return;
+    }
+    assert_matches_golden(&lines);
+}
+
+/// The same golden file, reproduced by the work-stealing sweep at four
+/// workers: scheduling (which worker claims which chunk, in what
+/// interleaving) must leave every byte of the output unchanged.
+#[test]
+fn golden_universe_summaries_are_bit_identical_at_four_threads() {
+    assert_matches_golden(&current_golden_lines(Parallelism::Threads(4)));
 }
 
 #[test]
