@@ -6,6 +6,7 @@
 //! ```text
 //! figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--node-budget N]
 //!         [--fallback-samples N] [--no-collapse] [--only figN,figM,...]
+//!         [--telemetry PATH]
 //! ```
 //!
 //! `--smoke` runs a reduced workload (fast CI check); the default
@@ -20,7 +21,10 @@
 //! reported on stderr — figure series printed on stdout then mix exact and
 //! estimated detectabilities, so budgets are for exploratory runs, not the
 //! recorded tables. Output of a full (unbudgeted) run is recorded in
-//! `EXPERIMENTS.md`.
+//! `EXPERIMENTS.md`. `--telemetry PATH` writes every sweep's telemetry as
+//! one schema-versioned `sweep_report.json` — the machine-readable
+//! counterpart of the stderr summaries, validated by
+//! `validate_sweep_report`.
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -45,6 +49,9 @@ struct Lab {
     sa: HashMap<String, Vec<FaultRecord>>,
     bf_and: HashMap<String, Vec<FaultRecord>>,
     bf_or: HashMap<String, Vec<FaultRecord>>,
+    /// One schema-versioned report per sweep, in sweep order; written out
+    /// at the end when `--telemetry` was given.
+    reports: Vec<dp_telemetry::SweepReport>,
 }
 
 impl Lab {
@@ -55,6 +62,7 @@ impl Lab {
             sa: HashMap::new(),
             bf_and: HashMap::new(),
             bf_or: HashMap::new(),
+            reports: Vec::new(),
         }
     }
 
@@ -80,6 +88,7 @@ impl Lab {
                 t.elapsed()
             );
             report_shards(&sweep);
+            self.reports.push(dp_core::sweep_report(name, "stuck-at", &sweep));
             self.sa.insert(name.to_string(), records);
         }
         &self.sa[name]
@@ -102,6 +111,11 @@ impl Lab {
                 t.elapsed()
             );
             report_shards(&sweep);
+            let model = match kind {
+                BridgeKind::And => "bridging-and",
+                BridgeKind::Or => "bridging-or",
+            };
+            self.reports.push(dp_core::sweep_report(name, model, &sweep));
             match kind {
                 BridgeKind::And => self.bf_and.insert(name.to_string(), records),
                 BridgeKind::Or => self.bf_or.insert(name.to_string(), records),
@@ -124,6 +138,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = ExperimentConfig::default();
     let mut only: Option<Vec<String>> = None;
+    let mut telemetry_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -160,11 +175,16 @@ fn main() {
                 i += 1;
                 only = Some(args[i].split(',').map(str::to_string).collect());
             }
+            "--telemetry" => {
+                i += 1;
+                telemetry_path = Some(args[i].clone());
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] \
-                     [--node-budget N] [--fallback-samples N] [--no-collapse] [--only fig1,...]"
+                     [--node-budget N] [--fallback-samples N] [--no-collapse] [--only fig1,...] \
+                     [--telemetry PATH]"
                 );
                 std::process::exit(2);
             }
@@ -320,6 +340,17 @@ fn main() {
         }
     }
 
+    if let Some(path) = &telemetry_path {
+        let mut file = dp_telemetry::ReportFile::new("figures");
+        file.reports = std::mem::take(&mut lab.reports);
+        match std::fs::write(path, file.to_pretty_string()) {
+            Ok(()) => eprintln!("telemetry: {} sweep reports written to {path}", file.reports.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     eprintln!("\ntotal: {:?}", total.elapsed());
 }
 
@@ -340,7 +371,9 @@ fn report_shards(sweep: &SweepResult) {
     }
     for shard in &sweep.shards {
         let unique = &shard.stats.unique;
-        let op = shard.stats.op_total();
+        // The cumulative view: op-cache traffic across every GC generation,
+        // not just the last one.
+        let op = shard.stats.op_cumulative_total();
         eprintln!(
             "    worker {}: {} chunks, {} classes, {} faults, {:.1?} busy | unique {} lookups {:.1}% hit | op cache {} lookups {:.1}% hit | peak {} nodes | {} gc",
             shard.shard,

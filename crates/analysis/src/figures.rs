@@ -6,6 +6,7 @@
 
 use dp_core::{
     sweep_universe, BudgetConfig, EngineConfig, FallbackConfig, Parallelism, SweepConfig,
+    TelemetryLevel,
 };
 use dp_faults::BridgeKind;
 use dp_netlist::Circuit;
@@ -47,6 +48,9 @@ pub struct ExperimentConfig {
     /// one BDD propagation per fault — an ablation knob; the printed series
     /// are bit-identical either way.
     pub collapse: bool,
+    /// Telemetry level of the sweeps. Observation-only: the printed figure
+    /// series are byte-identical at every level.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for ExperimentConfig {
@@ -61,6 +65,7 @@ impl Default for ExperimentConfig {
             budget: BudgetConfig::UNLIMITED,
             fallback: FallbackConfig::default(),
             collapse: true,
+            telemetry: TelemetryLevel::default(),
         }
     }
 }
@@ -77,6 +82,7 @@ impl ExperimentConfig {
             budget: BudgetConfig::UNLIMITED,
             fallback: FallbackConfig::default(),
             collapse: true,
+            telemetry: TelemetryLevel::default(),
         }
     }
 
@@ -98,6 +104,7 @@ impl ExperimentConfig {
             fallback: self.fallback,
             collapse: self.collapse,
             chunk: None,
+            telemetry: self.telemetry,
         }
     }
 

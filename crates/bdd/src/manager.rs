@@ -444,6 +444,7 @@ impl Manager {
                 nodes: self.nodes.len(),
                 op_steps: self.op_steps,
             });
+            self.stats.budget_trips += 1;
         }
     }
 
@@ -455,6 +456,7 @@ impl Manager {
             return true;
         }
         self.op_steps += 1;
+        self.stats.op_steps += 1;
         if self.budget.max_op_steps.is_some_and(|max| self.op_steps > max) {
             self.trip();
             return true;
@@ -568,10 +570,11 @@ impl Manager {
     /// Drops the operation cache. Node storage is untouched.
     ///
     /// Useful between unrelated workloads to bound memory without the cost of
-    /// a full [`Manager::gc`]. The op-cache counters in [`Manager::stats`]
-    /// are reset along with the cache (each cache generation reports its own
-    /// hit rate); unique-table counters, `gc_runs` and `peak_nodes` are
-    /// untouched.
+    /// a full [`Manager::gc`]. The per-generation op-cache counters in
+    /// [`Manager::stats`] restart with the cache (each cache generation
+    /// reports its own hit rate) after folding into the cumulative view
+    /// ([`ManagerStats::op_cumulative`](crate::ManagerStats::op_cumulative));
+    /// unique-table counters, `gc_runs` and `peak_nodes` are untouched.
     pub fn clear_op_cache(&mut self) {
         self.op_cache.clear();
         self.stats.reset_op_counters();
@@ -626,10 +629,12 @@ impl Manager {
     /// retained handles via [`Remap::map`] (complement attributes are
     /// preserved across the move).
     ///
-    /// The operation cache is invalidated, and the op-cache counters in
-    /// [`Manager::stats`] are reset with it (a collection starts a cold cache
-    /// generation); `gc_runs` is incremented and the cumulative counters are
-    /// untouched.
+    /// The operation cache is invalidated, and the per-generation op-cache
+    /// counters in [`Manager::stats`] restart with it after folding into the
+    /// cumulative view (a collection starts a cold cache generation, but
+    /// [`ManagerStats::op_cumulative`](crate::ManagerStats::op_cumulative)
+    /// keeps every probe); `gc_runs` is incremented and all other cumulative
+    /// counters are untouched.
     ///
     /// # Examples
     ///

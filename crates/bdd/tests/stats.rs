@@ -145,21 +145,38 @@ fn gc_resets_op_cache_counters_but_not_cumulative_ones() {
     let remap = m.gc(&[f]);
     let f = remap.map(f);
 
-    // Documented contract: a collection drops the op cache AND its counters,
-    // so each cache generation reports its own hit rate.
+    // Documented contract: a collection drops the op cache AND its
+    // per-generation counters, so each cache generation reports its own hit
+    // rate.
     let s = m.stats();
     assert_eq!(s.op_total().lookups, 0);
     assert_eq!(s[OpKind::And].lookups, 0);
-    // Cumulative counters survive.
+    // Cumulative counters survive — including the cumulative op-cache view,
+    // which folds the finished generation in rather than losing it.
     assert_eq!(s.unique.lookups, before.unique.lookups);
     assert_eq!(s.peak_nodes, before.peak_nodes);
     assert_eq!(s.gc_runs, 1);
+    assert_eq!(
+        s.op_cumulative(OpKind::And).lookups,
+        before[OpKind::And].lookups
+    );
+    assert_eq!(
+        s.op_cumulative_total().lookups,
+        before.op_total().lookups,
+        "cumulative op-cache lookups must survive gc"
+    );
+    assert_eq!(s.op_steps, before.op_steps, "op_steps must survive gc");
 
-    // The new cache generation starts cold: the same apply misses again.
+    // The new cache generation starts cold: the same apply misses again, and
+    // the cumulative view keeps growing on top of the folded history.
     let g = m.var(2);
     let _ = m.and(f, g);
     let s = m.stats();
     assert!(s[OpKind::And].misses > 0);
+    assert_eq!(
+        s.op_cumulative_total().lookups,
+        before.op_total().lookups + s.op_total().lookups
+    );
     assert_internally_consistent(&m);
 }
 
@@ -190,12 +207,49 @@ fn clear_op_cache_resets_op_counters_only() {
     let unique_before = m.stats().unique;
     assert!(m.stats()[OpKind::Or].lookups > 0);
 
+    let cumulative_before = m.stats().op_cumulative_total();
     m.clear_op_cache();
 
     let s = m.stats();
     assert_eq!(s.op_total().lookups, 0);
     assert_eq!(s.unique, unique_before);
     assert_eq!(s.gc_runs, 0, "clear_op_cache is not a gc");
+    assert_eq!(
+        s.op_cumulative_total(),
+        cumulative_before,
+        "clear_op_cache must fold, not drop, the finished generation"
+    );
+}
+
+#[test]
+fn op_steps_and_budget_trips_accumulate_in_stats() {
+    use dp_bdd::BudgetConfig;
+    let mut m = Manager::new(6);
+    m.set_budget(BudgetConfig::with_max_op_steps(4));
+    let vars: Vec<_> = (0..6).map(|v| m.var(v)).collect();
+    let mut f = vars[0];
+    for &v in &vars[1..] {
+        f = m.xor(f, v); // enough work to exceed 4 op steps
+    }
+    assert!(m.budget_exceeded().is_some());
+    let s = m.stats().clone();
+    assert_eq!(s.budget_trips, 1, "one sticky trip per window");
+    assert!(s.op_steps > 4);
+
+    // A window reset clears the manager's per-window tally but not the
+    // lifetime stats; a second trip counts again.
+    m.reset_budget_window();
+    assert_eq!(m.op_steps(), 0);
+    assert_eq!(m.stats().op_steps, s.op_steps);
+    let mut g = vars[0];
+    for &v in &vars[1..] {
+        g = m.xor(g, v);
+    }
+    let _ = g;
+    assert!(m.budget_exceeded().is_some());
+    let s2 = m.stats();
+    assert_eq!(s2.budget_trips, 2);
+    assert!(s2.op_steps > s.op_steps);
 }
 
 #[test]

@@ -10,10 +10,18 @@
 //!
 //! A bridging-universe group rides along because NFBF sweeps are the
 //! paper's expensive case (§2.2) and shard the same way.
+//!
+//! The `telemetry_overhead` group times the same stuck-at sweep at each
+//! [`TelemetryLevel`]. The collector's contract is observation-only and
+//! cheap: `aggregate` (the default) must stay within ~5% of `off`;
+//! `detailed` additionally reads the clock around every gate propagation
+//! and is expected to cost more.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dp_bench::{record_bench_result, BenchRecord};
-use dp_core::{analyze_universe, EngineConfig, Parallelism};
+use dp_core::{
+    analyze_universe, sweep_universe, EngineConfig, Parallelism, SweepConfig, TelemetryLevel,
+};
 use dp_faults::{enumerate_nfbfs, BridgeKind, Fault};
 use dp_netlist::generators::alu74181;
 use dp_netlist::Circuit;
@@ -78,12 +86,35 @@ fn sweep_group(c: &mut Criterion, group_name: &str, circuit: &Circuit, faults: &
     group.finish();
 }
 
+/// Times the full stuck-at sweep at every telemetry level, same workload
+/// and execution plan, so the collector's wall-clock cost is a direct
+/// column-to-column read in the criterion report.
+fn telemetry_overhead_group(c: &mut Criterion, circuit: &Circuit, faults: &[Fault]) {
+    let mut group = c.benchmark_group("telemetry_overhead/alu74181_stuck_at");
+    group.sample_size(10);
+    for (name, level) in [
+        ("off", TelemetryLevel::Off),
+        ("aggregate", TelemetryLevel::Aggregate),
+        ("detailed", TelemetryLevel::Detailed),
+    ] {
+        let config = SweepConfig {
+            telemetry: level,
+            ..Default::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(sweep_universe(circuit, faults, &config)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_parallel_sweep(c: &mut Criterion) {
     let circuit = alu74181();
 
     // Full stuck-at sweep: the collapsed checkpoint universe, uncapped.
     let sa_faults = stuck_at_universe(&circuit, true);
     sweep_group(c, "parallel_sweep/alu74181_stuck_at", &circuit, &sa_faults);
+    telemetry_overhead_group(c, &circuit, &sa_faults);
     record_results(&circuit, &sa_faults, "stuck_at");
 
     // Bridging sweep: all AND-type NFBFs of the same ALU.

@@ -9,11 +9,12 @@
 //! * `ablations` — selective trace, Table 1 at the engine level, variable
 //!   order, and n-input gate decomposition.
 
-use dp_core::{sweep_universe, Parallelism, SweepConfig};
+use dp_core::{sweep_report, sweep_universe, Parallelism, SweepConfig, SweepResult};
 use dp_faults::{checkpoint_faults, Fault};
 use dp_netlist::Circuit;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// A deterministic slice of a circuit's checkpoint faults, as engine inputs.
@@ -61,10 +62,9 @@ pub struct BenchRecord {
     pub seconds: f64,
     /// `faults / seconds`.
     pub faults_per_sec: f64,
-    /// Op-cache probes summed over workers at sweep end. The op counters
-    /// reset whenever a gc clears the cache, so this reads the tail since
-    /// the last collection — pair it with `unique_lookups` (cumulative)
-    /// when comparing work across runs.
+    /// Op-cache probes summed over workers, cumulative across every gc
+    /// generation (the per-generation counters reset when a gc clears the
+    /// cache; this view survives those resets).
     pub op_steps: u64,
     /// Unique-table probes summed over workers (cumulative for the life of
     /// each manager).
@@ -89,6 +89,7 @@ impl BenchRecord {
         let sweep = sweep_universe(circuit, faults, &config);
         let seconds = t0.elapsed().as_secs_f64();
         let stats = sweep.merged_stats();
+        record_telemetry_report(circuit, fault_model, &sweep);
         BenchRecord {
             circuit: circuit.name().to_string(),
             fault_model: fault_model.to_string(),
@@ -97,7 +98,7 @@ impl BenchRecord {
             threads: parallelism.workers().max(1),
             seconds,
             faults_per_sec: faults.len() as f64 / seconds.max(f64::MIN_POSITIVE),
-            op_steps: stats.op_total().lookups,
+            op_steps: stats.op_cumulative_total().lookups,
             unique_lookups: stats.unique.lookups,
             peak_nodes: stats.peak_nodes,
         }
@@ -129,6 +130,28 @@ impl BenchRecord {
             self.unique_lookups,
             self.peak_nodes
         )
+    }
+}
+
+/// Appends a schema-versioned `SweepReport` for a measured sweep to the file
+/// named by `DP_TELEMETRY_JSON`. No-op when the variable is unset, so plain
+/// bench runs stay file-free. Reports accumulate per process (one entry per
+/// measured sweep, last measurement of a `circuit/fault_model` pair wins) and
+/// the file is rewritten on every measurement, so it always parses as a
+/// complete `ReportFile` even mid-run.
+fn record_telemetry_report(circuit: &Circuit, fault_model: &str, sweep: &SweepResult) {
+    let Some(path) = std::env::var_os("DP_TELEMETRY_JSON") else {
+        return;
+    };
+    static REPORTS: Mutex<Vec<dp_telemetry::SweepReport>> = Mutex::new(Vec::new());
+    let mut reports = REPORTS.lock().expect("telemetry report lock poisoned");
+    reports
+        .retain(|r| (r.circuit.as_str(), r.fault_model.as_str()) != (circuit.name(), fault_model));
+    reports.push(sweep_report(circuit.name(), fault_model, sweep));
+    let mut file = dp_telemetry::ReportFile::new("bench");
+    file.reports = reports.clone();
+    if let Err(e) = std::fs::write(&path, file.to_pretty_string()) {
+        eprintln!("warning: cannot write {}: {e}", PathBuf::from(&path).display());
     }
 }
 
@@ -173,5 +196,31 @@ pub fn record_bench_result(record: &BenchRecord) {
     out.push_str("\n}\n");
     if let Err(e) = std::fs::write(&path, out) {
         eprintln!("warning: cannot write {}: {e}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dp_netlist::generators::c17;
+
+    /// `DP_TELEMETRY_JSON` makes `measure` leave a schema-valid report file
+    /// behind; re-measuring the same workload replaces its entry instead of
+    /// appending a duplicate.
+    #[test]
+    fn measure_writes_a_valid_telemetry_report() {
+        let circuit = c17();
+        let faults = some_stuck_faults(&circuit, 4);
+        let path = std::env::temp_dir().join("dp_bench_telemetry_test.json");
+        // Env vars are process-global; this is the only test in the crate
+        // that touches this one.
+        std::env::set_var("DP_TELEMETRY_JSON", &path);
+        BenchRecord::measure(&circuit, &faults, "stuck_at", Parallelism::Serial);
+        BenchRecord::measure(&circuit, &faults, "stuck_at", Parallelism::Threads(2));
+        std::env::remove_var("DP_TELEMETRY_JSON");
+        let text = std::fs::read_to_string(&path).expect("report file written");
+        let _ = std::fs::remove_file(&path);
+        dp_telemetry::parse_and_validate(&text).expect("report is schema-valid");
+        assert_eq!(text.matches("\"circuit\"").count(), 1, "same key replaced");
     }
 }

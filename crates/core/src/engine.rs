@@ -6,6 +6,7 @@ use std::collections::{BTreeSet, HashMap};
 use dp_bdd::{BudgetConfig, Cube, NodeId};
 use dp_faults::{BridgeKind, Fault, FaultSite, StuckAtFault};
 use dp_netlist::{Circuit, Driver, NetId, Reachability};
+use dp_telemetry::{CounterKind, SharedCollector, SpanKind};
 
 use crate::delta::{delta_output, naive_delta_output};
 use crate::error::AnalysisError;
@@ -86,6 +87,10 @@ pub struct FaultAnalysis {
     /// bridging fault this is the paper's §4.2 test for "exhibits stuck-at
     /// behaviour". Always `true` for stuck-at faults.
     pub site_function_constant: bool,
+    /// Gate deltas the propagation loop computed for this fault — a
+    /// scheduling-invariant measure of propagation work (selective trace
+    /// skips do not count).
+    pub gates_propagated: u32,
 }
 
 impl FaultAnalysis {
@@ -116,6 +121,8 @@ pub struct MultiFaultAnalysis {
     pub test_count: Option<u128>,
     /// Per-output observability flags.
     pub observable_outputs: Vec<bool>,
+    /// Gate deltas computed while propagating the combined fronts.
+    pub gates_propagated: u32,
 }
 
 impl MultiFaultAnalysis {
@@ -128,6 +135,17 @@ impl MultiFaultAnalysis {
     pub fn num_observable(&self) -> usize {
         self.observable_outputs.iter().filter(|&&b| b).count()
     }
+}
+
+/// What one propagation run produced — the shared tail of
+/// [`FaultAnalysis`] and [`MultiFaultAnalysis`].
+struct Propagated {
+    po_deltas: Vec<NodeId>,
+    test_set: NodeId,
+    detectability: f64,
+    test_count: Option<u128>,
+    observable_outputs: Vec<bool>,
+    gates_propagated: u32,
 }
 
 /// Initialised fault-site state handed to the propagation core.
@@ -169,6 +187,11 @@ pub struct DiffProp<'c> {
     /// `false` entry compute nothing observable, so the propagation frontier
     /// never enters them.
     feeds_output: Vec<bool>,
+    /// Optional telemetry sink. Strictly observational: attaching one never
+    /// changes an analysis result, only records spans and counters. The
+    /// engine touches it once per propagation (plus once per gate at
+    /// [`dp_telemetry::TelemetryLevel::Detailed`]).
+    telemetry: Option<SharedCollector>,
 }
 
 impl<'c> DiffProp<'c> {
@@ -201,7 +224,16 @@ impl<'c> DiffProp<'c> {
             gc_baseline,
             reach,
             feeds_output,
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry collector. Observation-only by contract: the
+    /// golden and property layers pin that analyses with and without a
+    /// collector are bit-identical. The collector is shared (sweep drivers
+    /// keep a handle to record their own spans into the same sink).
+    pub fn attach_collector(&mut self, collector: SharedCollector) {
+        self.telemetry = Some(collector);
     }
 
     /// Creates an analyser with an explicit configuration, honouring
@@ -325,19 +357,19 @@ impl<'c> DiffProp<'c> {
             }
         }
 
-        let (po_deltas, test_set, detectability, test_count, observable_outputs) =
-            self.propagate(init);
+        let p = self.propagate(init);
         if let Some(err) = self.check_budget() {
             return Err(err);
         }
         Ok(FaultAnalysis {
             fault: *fault,
-            po_deltas,
-            test_set,
-            detectability,
-            test_count,
-            observable_outputs,
+            po_deltas: p.po_deltas,
+            test_set: p.test_set,
+            detectability: p.detectability,
+            test_count: p.test_count,
+            observable_outputs: p.observable_outputs,
             site_function_constant,
+            gates_propagated: p.gates_propagated,
         })
     }
 
@@ -417,18 +449,18 @@ impl<'c> DiffProp<'c> {
         for f in components {
             self.init_stuck_at(f, &mut init);
         }
-        let (po_deltas, test_set, detectability, test_count, observable_outputs) =
-            self.propagate(init);
+        let p = self.propagate(init);
         if let Some(err) = self.check_budget() {
             return Err(err);
         }
         Ok(MultiFaultAnalysis {
             components: components.to_vec(),
-            po_deltas,
-            test_set,
-            detectability,
-            test_count,
-            observable_outputs,
+            po_deltas: p.po_deltas,
+            test_set: p.test_set,
+            detectability: p.detectability,
+            test_count: p.test_count,
+            observable_outputs: p.observable_outputs,
+            gates_propagated: p.gates_propagated,
         })
     }
 
@@ -475,12 +507,15 @@ impl<'c> DiffProp<'c> {
     /// gates that feed no primary output never enter the frontier. Both
     /// skips elide work whose result is the identity, so every returned
     /// value is bit-identical to the unrestricted engine's.
-    #[allow(clippy::type_complexity)]
-    fn propagate(
-        &mut self,
-        init: SiteInit,
-    ) -> (Vec<NodeId>, NodeId, f64, Option<u128>, Vec<bool>) {
+    fn propagate(&mut self, init: SiteInit) -> Propagated {
         let circuit = self.circuit;
+        // Reading the level once keeps the per-gate path to a plain branch;
+        // only `Detailed` pays for per-gate clock reads.
+        let detailed = self
+            .telemetry
+            .as_ref()
+            .is_some_and(|t| t.borrow().detailed());
+        let mut gates_propagated: u32 = 0;
         let SiteInit {
             mut deltas,
             branch_deltas,
@@ -522,12 +557,19 @@ impl<'c> DiffProp<'c> {
             if self.config.selective_trace && deltas_buf.iter().all(|d| d.is_false()) {
                 continue;
             }
+            let gate_t0 = detailed.then(std::time::Instant::now);
             let m = self.good.manager_mut();
             let dg = if self.config.table1 {
                 delta_output(m, *kind, &goods_buf, &deltas_buf)
             } else {
                 naive_delta_output(m, *kind, &goods_buf, &deltas_buf)
             };
+            gates_propagated += 1;
+            if let Some(t0) = gate_t0 {
+                if let Some(tel) = &self.telemetry {
+                    tel.borrow_mut().finish(SpanKind::GateProp, Some(t0));
+                }
+            }
             // Selective trace stops the frontier at zero differences; with
             // it off, the whole fanout cone is processed (the exhaustive
             // alternative the paper's §3 improves on).
@@ -568,7 +610,22 @@ impl<'c> DiffProp<'c> {
         let detectability = m.density(test_set);
         let test_count = (m.num_vars() <= 127).then(|| m.sat_count(test_set));
         let observable_outputs = po_deltas.iter().map(|d| !d.is_false()).collect();
-        (po_deltas, test_set, detectability, test_count, observable_outputs)
+        if let Some(tel) = &self.telemetry {
+            let mut tel = tel.borrow_mut();
+            if !detailed {
+                // Detailed mode already counted each gate span when timing it.
+                tel.count_span(SpanKind::GateProp, gates_propagated as u64);
+            }
+            tel.add(CounterKind::GatesPropagated, gates_propagated as u64);
+        }
+        Propagated {
+            po_deltas,
+            test_set,
+            detectability,
+            test_count,
+            observable_outputs,
+            gates_propagated,
+        }
     }
 
     /// One explicit test vector for the fault, or `None` if undetectable.

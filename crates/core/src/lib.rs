@@ -68,6 +68,7 @@ mod good;
 mod observability;
 mod parallel;
 mod redundancy;
+mod report;
 
 pub use atpg::{generate_tests, generate_tests_with, TestSet};
 pub use delta::{delta_output, naive_delta_output};
@@ -77,8 +78,10 @@ pub use engine::{DiffProp, EngineConfig, FaultAnalysis, MultiFaultAnalysis};
 pub use error::AnalysisError;
 pub use good::GoodFunctions;
 pub use observability::Observability;
+pub use dp_telemetry::TelemetryLevel;
 pub use parallel::{
     analyze_universe, analyze_universe_with, sweep_universe, FallbackConfig, FaultOutcome,
     FaultSummary, Parallelism, ShardReport, SweepConfig, SweepResult,
 };
 pub use redundancy::{find_redundancies, RedundancyReport};
+pub use report::{summaries_digest, sweep_report};

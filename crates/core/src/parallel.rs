@@ -89,9 +89,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use dp_bdd::ManagerStats;
-use dp_faults::{collapse_faults, CollapsedUniverse, Fault, FaultClass};
+use dp_faults::{collapse_faults, CollapseStats, CollapsedUniverse, Fault, FaultClass};
 use dp_netlist::Circuit;
 use dp_sim::sampled_fault_estimate;
+use dp_telemetry::{
+    Collector, CounterKind, HistKind, SharedCollector, SpanKind, TelemetryLevel, TelemetrySnapshot,
+};
 
 use crate::engine::{DiffProp, EngineConfig};
 
@@ -135,6 +138,12 @@ pub struct SweepConfig {
     /// Work-queue chunk size in *classes*. `None` picks a size that gives
     /// each worker several claims without drowning the queue in contention.
     pub chunk: Option<usize>,
+    /// How much the sweep records about itself. Observation-only by
+    /// contract — the level never changes a summary (pinned by the
+    /// telemetry-invariance tests). The default, `Aggregate`, times
+    /// sweep/chunk/class/fault spans and counts gate propagations; `Off`
+    /// skips even that, `Detailed` also times every gate delta.
+    pub telemetry: TelemetryLevel,
 }
 
 impl Default for SweepConfig {
@@ -145,6 +154,7 @@ impl Default for SweepConfig {
             fallback: FallbackConfig::default(),
             collapse: true,
             chunk: None,
+            telemetry: TelemetryLevel::default(),
         }
     }
 }
@@ -264,6 +274,12 @@ pub struct ShardReport {
     /// That class's faults have no summaries; all other classes (including
     /// this worker's later claims) are unaffected.
     pub panic: Option<String>,
+    /// Everything this worker's collector recorded: span aggregates
+    /// (chunk/class/fault, plus gate propagation from the engine), counters
+    /// (including the manager's cumulative cache statistics, harvested at
+    /// worker exit), and latency histograms. Default (empty, level `Off`)
+    /// when the sweep ran with telemetry off or the worker claimed nothing.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// The merged outcome of a sweep: per-fault summaries in the original fault
@@ -279,6 +295,22 @@ pub struct SweepResult {
     /// Equivalence classes actually analysed (= BDD propagations needed);
     /// equals the universe size when collapsing is off or nothing merged.
     pub classes: usize,
+    /// Shape of the collapsed universe (scheduling-invariant: depends only
+    /// on the circuit, the fault list, and [`SweepConfig::collapse`]).
+    pub collapse: CollapseStats,
+    /// Whether structural collapsing was enabled for this sweep.
+    pub collapsed: bool,
+    /// Workers actually spawned (≤ the configured parallelism; never more
+    /// than there were classes).
+    pub workers: usize,
+    /// Work-queue chunk size actually used, in classes.
+    pub chunk: usize,
+    /// End-to-end wall-clock time of the sweep, including collapsing and
+    /// the merge.
+    pub wall: Duration,
+    /// All shard telemetry merged, plus the sweep-level span recorded by
+    /// the merging thread. Empty (level `Off`) when telemetry was off.
+    pub totals: TelemetrySnapshot,
 }
 
 impl SweepResult {
@@ -359,6 +391,11 @@ pub fn analyze_universe_with(
 /// and reported per worker, and budget trips degrade per fault to sampled
 /// estimates (see the module docs on panic isolation and degradation).
 pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig) -> SweepResult {
+    // The sweep span is recorded by the merging thread's own collector;
+    // worker collectors are private and merged into `totals` afterwards.
+    let mut sweep_col = Collector::new(config.telemetry);
+    let sweep_timer = sweep_col.start();
+    let wall_t0 = Instant::now();
     let collapsed = if config.collapse {
         collapse_faults(circuit, faults)
     } else {
@@ -372,6 +409,7 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
             num_faults: faults.len(),
         }
     };
+    let collapse_stats = collapsed.stats();
     let classes = collapsed.classes.as_slice();
     // Never more workers than classes: an extra worker would build good
     // functions only to find the queue drained.
@@ -409,6 +447,7 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
                                 busy: Duration::ZERO,
                                 stats: ManagerStats::default(),
                                 panic: Some(panic_message(payload.as_ref())),
+                                telemetry: TelemetrySnapshot::default(),
                             },
                         )
                     })
@@ -428,10 +467,20 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
     }
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert!(indexed.windows(2).all(|w| w[0].0 < w[1].0));
+    sweep_col.finish(SpanKind::Sweep, sweep_timer);
+    let totals = reports
+        .iter()
+        .fold(sweep_col.snapshot(), |acc, r| acc.merged(&r.telemetry));
     SweepResult {
         summaries: indexed.into_iter().map(|(_, s)| s).collect(),
         shards: reports,
         classes: classes.len(),
+        collapse: collapse_stats,
+        collapsed: config.collapse,
+        workers,
+        chunk,
+        wall: wall_t0.elapsed(),
+        totals,
     }
 }
 
@@ -458,7 +507,11 @@ fn run_worker(
         busy: Duration::ZERO,
         stats: ManagerStats::default(),
         panic: None,
+        telemetry: TelemetrySnapshot::default(),
     };
+    // One collector per worker, shared with the worker's engine; no other
+    // thread ever sees it, so the RefCell is uncontended by construction.
+    let collector = Collector::shared(config.telemetry);
     let mut dp: Option<DiffProp> = None;
     let mut built = false;
     loop {
@@ -468,26 +521,45 @@ fn run_worker(
         }
         let hi = (lo + chunk).min(classes.len());
         report.chunks_claimed += 1;
+        let chunk_timer = collector.borrow().start();
         let t0 = Instant::now();
         if !built {
             // A budget too small for the good functions leaves `dp` as
             // `None`: every class this worker claims is then estimated by
             // simulation.
             dp = DiffProp::try_with_config(circuit, config.engine).ok();
+            if let Some(dp) = dp.as_mut() {
+                dp.attach_collector(collector.clone());
+            }
             built = true;
         }
         for class in &classes[lo..hi] {
             report.classes_done += 1;
+            let class_timer = collector.borrow().start();
             let mark = out.len();
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                summarize_class(circuit, &mut dp, faults, class, config.fallback, &mut out)
+                summarize_class(
+                    circuit,
+                    &mut dp,
+                    faults,
+                    class,
+                    config.fallback,
+                    &collector,
+                    &mut out,
+                )
             }));
             match caught {
-                Ok(()) => report.faults_done += class.members.len(),
+                Ok(()) => {
+                    report.faults_done += class.members.len();
+                    collector
+                        .borrow_mut()
+                        .add(CounterKind::FaultsSummarized, class.members.len() as u64);
+                }
                 Err(payload) => {
                     // Drop any partial member summaries of the poisoned
                     // class and rebuild the engine — the unwind may have
-                    // left the manager mid-operation.
+                    // left the manager mid-operation. (Any RefCell borrow
+                    // the collector held was released during the unwind.)
                     out.truncate(mark);
                     if report.panic.is_none() {
                         report.panic = Some(panic_message(payload.as_ref()));
@@ -496,15 +568,45 @@ fn run_worker(
                         DiffProp::try_with_config(circuit, config.engine).ok()
                     }))
                     .unwrap_or(None);
+                    if let Some(dp) = dp.as_mut() {
+                        dp.attach_collector(collector.clone());
+                    }
                 }
             }
+            let mut c = collector.borrow_mut();
+            c.finish(SpanKind::Class, class_timer);
+            c.record_hist(HistKind::ClassSize, class.members.len() as u64);
+            c.add(CounterKind::ClassesAnalyzed, 1);
         }
         report.busy += t0.elapsed();
+        collector.borrow_mut().finish(SpanKind::Chunk, chunk_timer);
     }
-    report.stats = dp
-        .map(|dp| dp.good().manager().stats().clone())
-        .unwrap_or_default();
+    if let Some(dp) = &dp {
+        report.stats = dp.good().manager().stats().clone();
+        collector
+            .borrow_mut()
+            .raise(CounterKind::LiveNodes, dp.good().num_nodes() as u64);
+    }
+    harvest_manager_stats(&mut collector.borrow_mut(), &report);
+    report.telemetry = collector.borrow().snapshot();
     (out, report)
+}
+
+/// Folds a worker's final [`ManagerStats`] (and queue counters) into its
+/// collector, so the snapshot carries the manager's *cumulative* view —
+/// op-cache counters included, which survive GC generations by design.
+fn harvest_manager_stats(c: &mut Collector, report: &ShardReport) {
+    let s = &report.stats;
+    c.add(CounterKind::UniqueLookups, s.unique.lookups);
+    c.add(CounterKind::UniqueHits, s.unique.hits);
+    let op = s.op_cumulative_total();
+    c.add(CounterKind::OpCacheLookups, op.lookups);
+    c.add(CounterKind::OpCacheHits, op.hits);
+    c.add(CounterKind::OpSteps, s.op_steps);
+    c.add(CounterKind::GcRuns, s.gc_runs);
+    c.raise(CounterKind::PeakNodes, s.peak_nodes as u64);
+    c.add(CounterKind::BudgetTrips, s.budget_trips);
+    c.add(CounterKind::ChunksClaimed, report.chunks_claimed as u64);
 }
 
 /// Analyses one class's representative and expands the result to every
@@ -521,13 +623,19 @@ fn summarize_class(
     faults: &[Fault],
     class: &FaultClass,
     fallback: FallbackConfig,
+    collector: &SharedCollector,
     out: &mut Vec<(usize, FaultSummary)>,
 ) {
+    // One fault span for the representative's exact propagation; if the
+    // budget trips, the timer is dropped and each member's simulated
+    // estimate gets its own span instead.
+    let fault_timer = collector.borrow().start();
     let exact = dp
         .as_mut()
         .and_then(|dp| dp.try_analyze(&faults[class.representative]).ok().map(|a| (dp, a)));
     match exact {
         Some((dp, analysis)) => {
+            collector.borrow_mut().finish(SpanKind::Fault, fault_timer);
             for &m in &class.members {
                 let fault = faults[m];
                 let adherence = dp
@@ -551,8 +659,16 @@ fn summarize_class(
             // Budget trip (or no engine at all): every member gets its own
             // estimate, seeded by its own global index — never a copy of
             // the representative's.
+            let _ = fault_timer;
             for &m in &class.members {
-                out.push((m, sampled_summary(circuit, &faults[m], m, fallback)));
+                let member_timer = collector.borrow().start();
+                let summary = sampled_summary(circuit, &faults[m], m, fallback);
+                {
+                    let mut c = collector.borrow_mut();
+                    c.finish(SpanKind::Fault, member_timer);
+                    c.add(CounterKind::SimFallbacks, 1);
+                }
+                out.push((m, summary));
             }
         }
     }

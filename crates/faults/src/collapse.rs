@@ -67,6 +67,32 @@ impl CollapsedUniverse {
     pub fn num_collapsed(&self) -> usize {
         self.num_faults - self.classes.len()
     }
+
+    /// Aggregate shape of the partition, for sweep reports.
+    pub fn stats(&self) -> CollapseStats {
+        CollapseStats {
+            faults: self.num_faults,
+            classes: self.classes.len(),
+            singleton_classes: self.classes.iter().filter(|c| c.members.len() == 1).count(),
+            largest_class: self.classes.iter().map(|c| c.members.len()).max().unwrap_or(0),
+        }
+    }
+}
+
+/// Aggregate shape of a [`CollapsedUniverse`]: how much structural collapsing
+/// bought. These numbers depend only on the circuit and the fault list —
+/// never on scheduling — so sweep reports publish them in their
+/// scheduling-invariant `result` section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CollapseStats {
+    /// Faults the partition covers (the input slice length).
+    pub faults: usize,
+    /// Equivalence classes (= representative propagations required).
+    pub classes: usize,
+    /// Classes with exactly one member (nothing collapsed into them).
+    pub singleton_classes: usize,
+    /// Member count of the largest class; `0` for an empty universe.
+    pub largest_class: usize,
 }
 
 /// Partitions `faults` into structural equivalence classes against

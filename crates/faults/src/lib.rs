@@ -38,7 +38,9 @@ mod sample;
 mod stuck;
 
 pub use bridging::{enumerate_nfbfs, BridgeKind, BridgingFault};
-pub use collapse::{canonical_stuck_at, collapse_faults, CollapsedUniverse, FaultClass};
+pub use collapse::{
+    canonical_stuck_at, collapse_faults, CollapseStats, CollapsedUniverse, FaultClass,
+};
 pub use sample::{sample_nfbfs, tune_theta, SampleConfig};
 pub use stuck::{
     all_stuck_faults, checkpoint_faults, collapse_checkpoint_faults, FaultSite, StuckAtFault,

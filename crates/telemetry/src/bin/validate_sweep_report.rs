@@ -1,0 +1,51 @@
+//! Validates `sweep_report.json` documents against the current schema.
+//!
+//! Usage: `validate_sweep_report FILE [FILE ...]`
+//!
+//! Exits 0 when every file parses and validates, 1 otherwise (with one
+//! diagnostic per failing file on stderr). CI runs this over the telemetry
+//! artifacts produced by the c95 sweep.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: validate_sweep_report FILE [FILE ...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match dp_telemetry::parse_and_validate(&text) {
+            Ok(doc) => {
+                let reports = doc
+                    .get("reports")
+                    .and_then(|r| r.as_arr())
+                    .map_or(0, |r| r.len());
+                println!(
+                    "{path}: valid (schema_version {}, {} report{})",
+                    dp_telemetry::SCHEMA_VERSION,
+                    reports,
+                    if reports == 1 { "" } else { "s" }
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

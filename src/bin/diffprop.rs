@@ -24,6 +24,10 @@
 //! * `--no-collapse` turns off structural fault collapsing (one BDD
 //!   propagation per fault instead of per equivalence class) — an ablation
 //!   knob; the rows are identical either way.
+//! * `--telemetry PATH` writes a schema-versioned `sweep_report.json` with
+//!   the sweep's spans, cumulative manager counters, and per-shard
+//!   execution detail. Observation-only: the printed rows are byte-identical
+//!   with and without the flag.
 //!
 //! Without `--node-budget` every analysis is exact and the output is
 //! identical to the unbudgeted engine's.
@@ -32,7 +36,7 @@ use diffprop::analysis::{
     analyze_faults, bridging_universe, records_from_sweep, stuck_at_universe, Histogram,
 };
 use diffprop::core::{
-    find_redundancies, generate_tests, sweep_universe, BudgetConfig, EngineConfig,
+    find_redundancies, generate_tests, sweep_report, sweep_universe, BudgetConfig, EngineConfig,
     FallbackConfig, Parallelism, SweepConfig,
 };
 use diffprop::faults::BridgeKind;
@@ -64,13 +68,15 @@ fn load(arg: &str) -> Circuit {
 fn usage() -> ! {
     eprintln!(
         "usage: diffprop <stats|analyze|atpg|redundancy|bridges> <circuit> [n] \
-         [--node-budget N] [--fallback-samples N] [--threads N] [--no-collapse]\n\
+         [--node-budget N] [--fallback-samples N] [--threads N] [--no-collapse] [--telemetry PATH]\n\
          circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench\n\
          --node-budget N       cap BDD nodes per analysis; over-budget faults degrade to\n\
                                sampled simulation estimates (analyze command)\n\
          --fallback-samples N  random vectors per degraded estimate (default 4096)\n\
          --threads N           work-stealing sweep workers (analyze command; output unchanged)\n\
-         --no-collapse         one propagation per fault instead of per equivalence class"
+         --no-collapse         one propagation per fault instead of per equivalence class\n\
+         --telemetry PATH      write a machine-readable sweep_report.json to PATH\n\
+                               (analyze command; printed rows are unchanged)"
     );
     std::process::exit(2);
 }
@@ -81,6 +87,7 @@ struct Opts {
     fallback_samples: u64,
     threads: usize,
     collapse: bool,
+    telemetry_path: Option<String>,
 }
 
 impl Opts {
@@ -109,6 +116,7 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
         fallback_samples: 4096,
         threads: 1,
         collapse: true,
+        telemetry_path: None,
     };
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -145,6 +153,7 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
                 });
             }
             "--no-collapse" => opts.collapse = false,
+            "--telemetry" => opts.telemetry_path = Some(value("--telemetry")),
             f if f.starts_with("--") => {
                 eprintln!("unknown option {f}");
                 usage()
@@ -221,6 +230,7 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
             fallback,
             collapse: opts.collapse,
             chunk: None,
+            ..Default::default()
         },
     );
     eprintln!(
@@ -229,6 +239,18 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
         sweep.classes,
         sweep.shards.len()
     );
+    if let Some(path) = &opts.telemetry_path {
+        let mut file = diffprop::telemetry::ReportFile::new("diffprop");
+        file.reports
+            .push(sweep_report(circuit.name(), "stuck-at", &sweep));
+        match std::fs::write(path, file.to_pretty_string()) {
+            Ok(()) => eprintln!("telemetry report written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "{:<28} {:>10} {:>12} {:>10} {:>6} {:>8}",
         "fault", "det prob", "exact tests", "adherence", "POs", "outcome"

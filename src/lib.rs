@@ -5,3 +5,4 @@ pub use dp_faults as faults;
 pub use dp_netlist as netlist;
 pub use dp_podem as podem;
 pub use dp_sim as sim;
+pub use dp_telemetry as telemetry;

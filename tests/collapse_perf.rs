@@ -16,16 +16,16 @@
 //! the two-circuit suite.
 //!
 //! The saved passes must also show up as saved *work* in the managers' own
-//! [`ManagerStats`] counters. The honest instrument is the unique table:
-//! its counters are cumulative for the life of the manager, while the
-//! op-cache counters reset on every gc (so under the default adaptive gc a
-//! sweep-end op reading only covers the tail since the last collection —
-//! the run that gc'd more reads *lower*). Under the default engine config
-//! the uncollapsed 74181 sweep re-derives every duplicate fault's deltas
-//! across gc-cleared caches; collapsing removes that recomputation and the
-//! cumulative unique-table traffic drops by over 20% (c95 is small enough
-//! that one warm cache absorbs its whole universe, so only a strict
-//! decrease is asserted there).
+//! [`ManagerStats`] counters, read through the cumulative views
+//! (`unique.lookups` and `op_cumulative_total()`), which survive every gc:
+//! the per-generation op counters still reset when a collection clears the
+//! cache, but the cumulative ones keep counting, so a sweep-end reading
+//! covers the whole run no matter how often the adaptive gc fired. Under
+//! the default engine config the uncollapsed 74181 sweep re-derives every
+//! duplicate fault's deltas; collapsing removes that recomputation and both
+//! the cumulative unique-table and op-cache traffic drop by over 20% (c95
+//! is small enough that one warm cache absorbs its whole universe, so only
+//! a strict decrease is asserted there).
 
 use diffprop::core::{sweep_universe, SweepConfig, SweepResult};
 use diffprop::faults::{all_stuck_faults, Fault, FaultSite, StuckAtFault};
@@ -75,51 +75,74 @@ fn fraction_cut(off: u64, on: u64) -> f64 {
     1.0 - on as f64 / off as f64
 }
 
-/// Off/on measurement for one circuit with the bit-identity cross-check:
-/// `(passes_off, passes_on, unique_lookups_off, unique_lookups_on)`.
-fn measure(circuit: &Circuit) -> (usize, usize, u64, u64) {
+/// Off/on work counters for one circuit, all cumulative across gc.
+struct Measurement {
+    passes_off: usize,
+    passes_on: usize,
+    unique_off: u64,
+    unique_on: u64,
+    ops_off: u64,
+    ops_on: u64,
+}
+
+/// Off/on measurement for one circuit with the bit-identity cross-check.
+fn measure(circuit: &Circuit) -> Measurement {
     let off = sweep(circuit, false);
     let on = sweep(circuit, true);
     // Identical scalars first — a fast cross-check of the bit-identity
     // contract before we talk about speed.
     assert_eq!(off.summaries, on.summaries);
-    let (po, pn) = (propagations(&off), propagations(&on));
-    let (wo, wn) = (
-        off.merged_stats().unique.lookups,
-        on.merged_stats().unique.lookups,
-    );
+    let m = Measurement {
+        passes_off: propagations(&off),
+        passes_on: propagations(&on),
+        unique_off: off.merged_stats().unique.lookups,
+        unique_on: on.merged_stats().unique.lookups,
+        ops_off: off.merged_stats().op_cumulative_total().lookups,
+        ops_on: on.merged_stats().op_cumulative_total().lookups,
+    };
     eprintln!(
-        "{}: {} -> {} propagations ({:.1}% cut), {} -> {} unique-table lookups ({:.1}% cut)",
+        "{}: {} -> {} propagations ({:.1}% cut), {} -> {} unique-table lookups ({:.1}% cut), \
+         {} -> {} op-cache lookups ({:.1}% cut)",
         circuit.name(),
-        po,
-        pn,
-        100.0 * fraction_cut(po as u64, pn as u64),
-        wo,
-        wn,
-        100.0 * fraction_cut(wo, wn)
+        m.passes_off,
+        m.passes_on,
+        100.0 * fraction_cut(m.passes_off as u64, m.passes_on as u64),
+        m.unique_off,
+        m.unique_on,
+        100.0 * fraction_cut(m.unique_off, m.unique_on),
+        m.ops_off,
+        m.ops_on,
+        100.0 * fraction_cut(m.ops_off, m.ops_on)
     );
-    (po, pn, wo, wn)
+    m
 }
 
 #[test]
 fn collapsing_cuts_propagations_by_30_percent_on_the_paper_suite() {
-    let (c95_off, c95_on, c95_wo, c95_wn) = measure(&c95());
-    let (alu_off, alu_on, alu_wo, alu_wn) = measure(&alu74181());
+    let c95_m = measure(&c95());
+    let alu_m = measure(&alu74181());
 
     // The 74181 clears the bar on its own; c95's XOR-heavy lookahead tree
     // is the structural worst case and still must cut by a quarter.
     assert!(
-        fraction_cut(alu_off as u64, alu_on as u64) >= 0.30,
-        "74181: expected >= 30% fewer propagations, got {alu_off} -> {alu_on}"
+        fraction_cut(alu_m.passes_off as u64, alu_m.passes_on as u64) >= 0.30,
+        "74181: expected >= 30% fewer propagations, got {} -> {}",
+        alu_m.passes_off,
+        alu_m.passes_on
     );
     assert!(
-        fraction_cut(c95_off as u64, c95_on as u64) >= 0.25,
-        "c95: expected >= 25% fewer propagations, got {c95_off} -> {c95_on}"
+        fraction_cut(c95_m.passes_off as u64, c95_m.passes_on as u64) >= 0.25,
+        "c95: expected >= 25% fewer propagations, got {} -> {}",
+        c95_m.passes_off,
+        c95_m.passes_on
     );
 
     // The acceptance bar: >= 30% fewer BDD propagations across the
     // c95/74181 stuck-at universe.
-    let cut = fraction_cut((c95_off + alu_off) as u64, (c95_on + alu_on) as u64);
+    let cut = fraction_cut(
+        (c95_m.passes_off + alu_m.passes_off) as u64,
+        (c95_m.passes_on + alu_m.passes_on) as u64,
+    );
     assert!(
         cut >= 0.30,
         "suite: expected >= 30% fewer propagations, got {:.1}%",
@@ -127,14 +150,31 @@ fn collapsing_cuts_propagations_by_30_percent_on_the_paper_suite() {
     );
 
     // The managers must witness real saved work, not just bookkeeping:
-    // strictly fewer unique-table probes on both circuits, and a >= 20%
-    // cut on the 74181 where duplicate re-derivation across gc dominates.
-    assert!(c95_wn < c95_wo, "c95: collapsing must reduce manager work");
-    assert!(alu_wn < alu_wo, "74181: collapsing must reduce manager work");
-    let alu_cut = fraction_cut(alu_wo, alu_wn);
+    // strictly fewer unique-table and op-cache probes on both circuits
+    // (cumulative across gc), and >= 20% cuts on the 74181 where duplicate
+    // re-derivation dominates.
     assert!(
-        alu_cut >= 0.20,
+        c95_m.unique_on < c95_m.unique_off,
+        "c95: collapsing must reduce unique-table work"
+    );
+    assert!(
+        c95_m.ops_on < c95_m.ops_off,
+        "c95: collapsing must reduce op-cache work"
+    );
+    assert!(
+        alu_m.unique_on < alu_m.unique_off,
+        "74181: collapsing must reduce unique-table work"
+    );
+    let alu_unique_cut = fraction_cut(alu_m.unique_off, alu_m.unique_on);
+    assert!(
+        alu_unique_cut >= 0.20,
         "74181: expected >= 20% fewer unique-table lookups, got {:.1}%",
-        100.0 * alu_cut
+        100.0 * alu_unique_cut
+    );
+    let alu_op_cut = fraction_cut(alu_m.ops_off, alu_m.ops_on);
+    assert!(
+        alu_op_cut >= 0.20,
+        "74181: expected >= 20% fewer op-cache lookups, got {:.1}%",
+        100.0 * alu_op_cut
     );
 }

@@ -9,8 +9,13 @@
 //! so agreement pins the whole DP pipeline — good functions, Table-1
 //! propagation, counting — to an independent oracle.
 
-use diffprop::core::{analyze_universe, EngineConfig, Parallelism};
-use diffprop::faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
+mod common;
+
+use common::{
+    assert_matches_golden, bridging_universe, current_golden_lines, stuck_at_universe, GOLDEN_PATH,
+};
+use diffprop::core::{analyze_universe, EngineConfig, Parallelism, SweepConfig};
+use diffprop::faults::Fault;
 use diffprop::netlist::generators::{c17, c95, full_adder};
 use diffprop::netlist::Circuit;
 use diffprop::sim::{exhaustive_detectability, faulty_outputs};
@@ -91,109 +96,26 @@ fn check_universe(circuit: &Circuit, faults: &[Fault]) {
     }
 }
 
-fn stuck_at_universe(circuit: &Circuit) -> Vec<Fault> {
-    checkpoint_faults(circuit)
-        .into_iter()
-        .map(Fault::from)
-        .collect()
-}
-
-fn bridging_universe(circuit: &Circuit, cap: usize) -> Vec<Fault> {
-    let mut faults = Vec::new();
-    for kind in [BridgeKind::And, BridgeKind::Or] {
-        // Deterministic enumeration order makes the capped slice stable.
-        faults.extend(
-            enumerate_nfbfs(circuit, kind)
-                .into_iter()
-                .take(cap)
-                .map(Fault::from),
-        );
-    }
-    faults
-}
-
 // ---------------------------------------------------------------------------
 // Golden summaries: the engine's output pinned bit-for-bit across refactors.
 //
 // `tests/golden/universe_summaries.tsv` was captured from the serial sweep
-// before the complement-edge BDD refactor. Every `f64` is recorded via
-// `to_bits`, so this layer proves that internal representation changes
-// (complement edges, ITE-normalized caching, ...) leave the analysis output
-// bit-identical — not merely "close". Regenerate deliberately with
+// before the complement-edge BDD refactor. The serialisation and universe
+// enumeration live in `tests/common/mod.rs` (shared with the telemetry
+// invariance layer). Regenerate deliberately with
 // `DP_UPDATE_GOLDEN=1 cargo test -q --test differential golden`.
 // ---------------------------------------------------------------------------
 
-const GOLDEN_PATH: &str = "tests/golden/universe_summaries.tsv";
-
-/// One summary, serialised losslessly (f64s as hex bit patterns).
-fn summary_line(circuit: &str, model: &str, idx: usize, s: &diffprop::core::FaultSummary) -> String {
-    let obs: String = s
-        .observable_outputs
-        .iter()
-        .map(|&b| if b { '1' } else { '0' })
-        .collect();
-    let adherence = match s.adherence {
-        Some(a) => format!("{:016x}", a.to_bits()),
-        None => "-".to_string(),
-    };
-    let count = match s.test_count {
-        Some(c) => c.to_string(),
-        None => "-".to_string(),
-    };
-    format!(
-        "{circuit}\t{model}\t{idx}\t{}\t{count}\t{:016x}\t{adherence}\t{obs}\t{}",
-        s.fault,
-        s.detectability.to_bits(),
-        s.site_function_constant as u8
-    )
-}
-
-fn golden_universes() -> Vec<(String, &'static str, Vec<Fault>)> {
-    let mut out = Vec::new();
-    for circuit in [c17(), full_adder(), c95()] {
-        let name = circuit.name().to_string();
-        out.push((name.clone(), "stuck", stuck_at_universe(&circuit)));
-        // Same deterministic cap as the oracle tests keeps this fast on c95.
-        let cap = if circuit.num_inputs() > 8 { 120 } else { usize::MAX };
-        out.push((name, "bridge", bridging_universe(&circuit, cap)));
-    }
-    out
-}
-
-fn current_golden_lines(parallelism: Parallelism) -> Vec<String> {
-    let mut lines = Vec::new();
-    for (name, model, faults) in golden_universes() {
-        let circuit = match name.as_str() {
-            "c17" => c17(),
-            "full_adder" => full_adder(),
-            "c95" => c95(),
-            other => panic!("unknown golden circuit {other}"),
-        };
-        let sweep = analyze_universe(&circuit, &faults, EngineConfig::default(), parallelism);
-        for (idx, summary) in sweep.summaries.iter().enumerate() {
-            lines.push(summary_line(&name, model, idx, summary));
-        }
-    }
-    lines
-}
-
-fn assert_matches_golden(lines: &[String]) {
-    let golden = std::fs::read_to_string(GOLDEN_PATH)
-        .expect("golden file missing; run with DP_UPDATE_GOLDEN=1 to capture");
-    let golden: Vec<&str> = golden.lines().collect();
-    assert_eq!(
-        golden.len(),
-        lines.len(),
-        "universe size changed; engine no longer enumerates the golden faults"
-    );
-    for (want, got) in golden.iter().zip(lines) {
-        assert_eq!(want, got, "summary drifted from pre-complement-edge golden");
+fn sweep_config(parallelism: Parallelism) -> SweepConfig {
+    SweepConfig {
+        parallelism,
+        ..Default::default()
     }
 }
 
 #[test]
 fn golden_universe_summaries_are_bit_identical() {
-    let lines = current_golden_lines(Parallelism::Serial);
+    let lines = current_golden_lines(&sweep_config(Parallelism::Serial));
     if std::env::var_os("DP_UPDATE_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, lines.join("\n") + "\n").expect("write golden file");
         return;
@@ -206,7 +128,7 @@ fn golden_universe_summaries_are_bit_identical() {
 /// interleaving) must leave every byte of the output unchanged.
 #[test]
 fn golden_universe_summaries_are_bit_identical_at_four_threads() {
-    assert_matches_golden(&current_golden_lines(Parallelism::Threads(4)));
+    assert_matches_golden(&current_golden_lines(&sweep_config(Parallelism::Threads(4))));
 }
 
 #[test]

@@ -1,0 +1,90 @@
+//! Telemetry is observation-only: attaching a collector to a sweep must not
+//! change a single output bit.
+//!
+//! Strategy: replay the golden universes (`tests/golden/universe_summaries.tsv`,
+//! owned by `tests/differential.rs`) at every [`TelemetryLevel`] — including
+//! `Detailed`, which reads the clock around every gate propagation — and at
+//! both serial and four-thread execution. Every run must reproduce the
+//! committed golden TSV byte for byte. A companion check confirms the
+//! collectors really were live (non-zero spans and counters), so a silently
+//! disabled collector can't fake the invariance.
+
+mod common;
+
+use common::{assert_matches_golden, current_golden_lines, stuck_at_universe};
+use diffprop::core::{sweep_universe, Parallelism, SweepConfig, TelemetryLevel};
+use diffprop::netlist::generators::c95;
+use diffprop::telemetry::{CounterKind, SpanKind};
+
+fn config(parallelism: Parallelism, telemetry: TelemetryLevel) -> SweepConfig {
+    SweepConfig {
+        parallelism,
+        telemetry,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn serial_sweep_is_byte_identical_at_every_telemetry_level() {
+    for level in [
+        TelemetryLevel::Off,
+        TelemetryLevel::Aggregate,
+        TelemetryLevel::Detailed,
+    ] {
+        assert_matches_golden(&current_golden_lines(&config(Parallelism::Serial, level)));
+    }
+}
+
+#[test]
+fn four_thread_sweep_is_byte_identical_at_every_telemetry_level() {
+    for level in [
+        TelemetryLevel::Off,
+        TelemetryLevel::Aggregate,
+        TelemetryLevel::Detailed,
+    ] {
+        assert_matches_golden(&current_golden_lines(&config(
+            Parallelism::Threads(4),
+            level,
+        )));
+    }
+}
+
+/// Guards the guard: the invariance tests above are only meaningful if the
+/// collectors actually observe the sweep. An `Off` sweep must record
+/// nothing; an observing sweep must have seen every span kind and the
+/// manager counters.
+#[test]
+fn collectors_really_observe_the_sweep() {
+    let circuit = c95();
+    let faults = stuck_at_universe(&circuit);
+
+    let off = sweep_universe(&circuit, &faults, &config(Parallelism::Serial, TelemetryLevel::Off));
+    assert_eq!(off.totals.span(SpanKind::Sweep).count, 0);
+    assert_eq!(off.totals.counter(CounterKind::UniqueLookups), 0);
+
+    for level in [TelemetryLevel::Aggregate, TelemetryLevel::Detailed] {
+        let on = sweep_universe(&circuit, &faults, &config(Parallelism::Serial, level));
+        let t = &on.totals;
+        for kind in [
+            SpanKind::Sweep,
+            SpanKind::Chunk,
+            SpanKind::Class,
+            SpanKind::Fault,
+            SpanKind::GateProp,
+        ] {
+            assert!(t.span(kind).count > 0, "{level:?}: no {kind:?} spans");
+        }
+        assert_eq!(t.span(SpanKind::Class).count as usize, on.classes);
+        assert_eq!(
+            t.counter(CounterKind::FaultsSummarized) as usize,
+            faults.len()
+        );
+        assert!(t.counter(CounterKind::UniqueLookups) > 0);
+        assert!(t.counter(CounterKind::OpCacheLookups) > 0);
+        assert!(t.counter(CounterKind::GatesPropagated) > 0);
+        assert!(t.counter(CounterKind::PeakNodes) > 0);
+        // Only `Detailed` times individual gate propagations.
+        let timed = t.span(SpanKind::GateProp).total_nanos > 0;
+        assert_eq!(timed, level == TelemetryLevel::Detailed);
+    }
+}
