@@ -6,7 +6,7 @@
 //! ```text
 //! figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] [--node-budget N]
 //!         [--fallback-samples N] [--no-collapse] [--only figN,figM,...]
-//!         [--telemetry PATH]
+//!         [--telemetry PATH] [--order identity|fanin-dfs|interleave|auto]
 //! ```
 //!
 //! `--smoke` runs a reduced workload (fast CI check); the default
@@ -24,7 +24,9 @@
 //! `EXPERIMENTS.md`. `--telemetry PATH` writes every sweep's telemetry as
 //! one schema-versioned `sweep_report.json` — the machine-readable
 //! counterpart of the stderr summaries, validated by
-//! `validate_sweep_report`.
+//! `validate_sweep_report`. `--order S` picks the OBDD variable-order
+//! strategy; the printed series are byte-identical under every strategy
+//! (only wall clock and node counts move).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -38,7 +40,7 @@ use dp_analysis::trends::{render_trend, trend_point, TrendPoint};
 use dp_analysis::{
     bridging_universe, records_from_sweep, stuck_at_universe, FaultRecord, Histogram,
 };
-use dp_core::{sweep_universe, BudgetConfig, Parallelism, SweepResult};
+use dp_core::{sweep_universe, BudgetConfig, OrderStrategy, Parallelism, SweepResult};
 use dp_faults::BridgeKind;
 use dp_netlist::generators::benchmark_suite;
 use dp_netlist::Circuit;
@@ -179,12 +181,19 @@ fn main() {
                 i += 1;
                 telemetry_path = Some(args[i].clone());
             }
+            "--order" => {
+                i += 1;
+                config.order = OrderStrategy::parse(&args[i]).unwrap_or_else(|| {
+                    eprintln!("--order: unknown strategy `{}`", args[i]);
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: figures [--smoke] [--bf-sample N] [--sa-cap N] [--threads N] \
                      [--node-budget N] [--fallback-samples N] [--no-collapse] [--only fig1,...] \
-                     [--telemetry PATH]"
+                     [--telemetry PATH] [--order identity|fanin-dfs|interleave|auto]"
                 );
                 std::process::exit(2);
             }

@@ -5,8 +5,8 @@
 //! `crates/bench` times each one.
 
 use dp_core::{
-    sweep_universe, BudgetConfig, EngineConfig, FallbackConfig, Parallelism, SweepConfig,
-    TelemetryLevel,
+    sweep_universe, BudgetConfig, EngineConfig, FallbackConfig, OrderStrategy, Parallelism,
+    SweepConfig, TelemetryLevel,
 };
 use dp_faults::BridgeKind;
 use dp_netlist::Circuit;
@@ -51,6 +51,10 @@ pub struct ExperimentConfig {
     /// Telemetry level of the sweeps. Observation-only: the printed figure
     /// series are byte-identical at every level.
     pub telemetry: TelemetryLevel,
+    /// OBDD variable-order strategy of the sweeps. Execution-only: the
+    /// printed figure series are byte-identical under every strategy, but
+    /// the deep surrogates only finish in reasonable time with a good one.
+    pub order: OrderStrategy,
 }
 
 impl Default for ExperimentConfig {
@@ -66,6 +70,7 @@ impl Default for ExperimentConfig {
             fallback: FallbackConfig::default(),
             collapse: true,
             telemetry: TelemetryLevel::default(),
+            order: OrderStrategy::Identity,
         }
     }
 }
@@ -83,14 +88,16 @@ impl ExperimentConfig {
             fallback: FallbackConfig::default(),
             collapse: true,
             telemetry: TelemetryLevel::default(),
+            order: OrderStrategy::Identity,
         }
     }
 
     /// The engine configuration the drivers run with (defaults plus this
-    /// workload's budget).
+    /// workload's budget and order strategy).
     pub fn engine_config(&self) -> EngineConfig {
         EngineConfig {
             budget: self.budget,
+            order: self.order,
             ..Default::default()
         }
     }

@@ -194,12 +194,14 @@ impl Manager {
     /// Creates a manager with an explicit variable order.
     ///
     /// `order[l]` is the variable placed at level `l` (level 0 is the root
-    /// level, tested first).
+    /// level, tested first). An empty order is valid and yields a zero-var
+    /// manager (constants only), matching `Manager::new(0)`.
     ///
     /// # Errors
     ///
     /// Returns [`BddError::InvalidOrder`] if `order` is not a permutation of
-    /// `0..order.len()`.
+    /// `0..order.len()` — a duplicated variable or a gap (an entry `>= len`)
+    /// would silently corrupt the level maps if accepted.
     pub fn with_order(order: &[Var]) -> Result<Self, BddError> {
         let n = order.len();
         let mut var_to_level = vec![u32::MAX; n];
@@ -850,9 +852,42 @@ mod tests {
     }
 
     #[test]
-    fn with_order_rejects_non_permutation() {
-        assert!(Manager::with_order(&[0, 0, 1]).is_err());
-        assert!(Manager::with_order(&[0, 3, 1]).is_err());
+    fn with_order_rejects_duplicates_with_typed_error() {
+        // A duplicate would map two levels to one variable and leave another
+        // at the u32::MAX sentinel — must be a typed error, not corruption.
+        assert_eq!(
+            Manager::with_order(&[0, 0, 1]).unwrap_err(),
+            BddError::InvalidOrder
+        );
+        assert_eq!(
+            Manager::with_order(&[2, 1, 2]).unwrap_err(),
+            BddError::InvalidOrder
+        );
+    }
+
+    #[test]
+    fn with_order_rejects_gaps_with_typed_error() {
+        // An out-of-range entry means some in-range variable never gets a
+        // level (a gap in the permutation).
+        assert_eq!(
+            Manager::with_order(&[0, 3, 1]).unwrap_err(),
+            BddError::InvalidOrder
+        );
+        assert_eq!(
+            Manager::with_order(&[u32::MAX]).unwrap_err(),
+            BddError::InvalidOrder
+        );
+    }
+
+    #[test]
+    fn with_order_accepts_empty_order() {
+        // Empty is the vacuous permutation: a constants-only manager,
+        // equivalent to `Manager::new(0)`.
+        let m = Manager::with_order(&[]).unwrap();
+        assert_eq!(m.num_vars(), 0);
+        assert!(m.order().is_empty());
+        assert!(m.eval(NodeId::TRUE, &[]));
+        assert!(!m.eval(NodeId::FALSE, &[]));
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! `iscas_scaleup` — full checkpoint stuck-at sweeps of the four ISCAS-85
+//! surrogates (`c432s`, `c499s`, `c1355s`, `c1908s`), timed end to end and
+//! merged into the bench results file (`BENCH_PR6.json`, or `DP_BENCH_JSON`).
+//!
+//! ```text
+//! iscas_scaleup [--order identity|fanin-dfs|interleave|auto] [--threads N]
+//!               [--only c432s,c499s,...]
+//! ```
+//!
+//! The default is `--order auto` — the point of this driver is to keep the
+//! variable-ordering speedups measured release over release; run it again
+//! with `--order identity` to record the baseline side by side (the records
+//! are keyed by order, so both survive in the file). `--threads` falls back
+//! to `DP_BENCH_THREADS`, then serial. `--only` restricts the surrogate set
+//! — recording the identity baseline of `c432s` alone is affordable, while
+//! identity-order `c1355s` is not. Set `DP_TELEMETRY_JSON=PATH` to also
+//! write a schema-valid `sweep_report.json` covering every sweep.
+
+use dp_bench::{parallelism_from_env, record_bench_result, BenchRecord};
+use dp_core::{EngineConfig, OrderStrategy, Parallelism, SweepConfig};
+use dp_faults::{checkpoint_faults, Fault};
+use dp_netlist::generators;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: iscas_scaleup [--order identity|fanin-dfs|interleave|auto|random:SEED] \
+         [--threads N] [--only c432s,c499s,...]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut order = OrderStrategy::Auto;
+    let mut parallelism = parallelism_from_env();
+    let mut only: Option<Vec<String>> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = || inline.clone().or_else(|| args.next()).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--order" => {
+                let v = value();
+                order = OrderStrategy::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--order: unknown strategy `{v}`");
+                    usage()
+                });
+            }
+            "--threads" => {
+                let v = value();
+                let n: usize = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: `{v}` is not a number");
+                    usage()
+                });
+                parallelism = if n > 1 {
+                    Parallelism::Threads(n)
+                } else {
+                    Parallelism::Serial
+                };
+            }
+            "--only" => {
+                only = Some(value().split(',').map(str::to_string).collect());
+            }
+            _ => usage(),
+        }
+    }
+
+    let config = SweepConfig {
+        engine: EngineConfig {
+            order,
+            ..Default::default()
+        },
+        parallelism,
+        ..Default::default()
+    };
+    for circuit in [
+        generators::c432_surrogate(),
+        generators::c499_surrogate(),
+        generators::c1355_surrogate(),
+        generators::c1908_surrogate(),
+    ] {
+        if let Some(only) = &only {
+            if !only.iter().any(|n| n == circuit.name()) {
+                continue;
+            }
+        }
+        let faults: Vec<Fault> = checkpoint_faults(&circuit)
+            .into_iter()
+            .map(Fault::from)
+            .collect();
+        let record = BenchRecord::measure_with(&circuit, &faults, "stuck_at", &config);
+        println!(
+            "{}: {} faults in {} classes, {:.2}s ({:.1} faults/sec), \
+             peak {} nodes, order {}, {} thread(s)",
+            record.circuit,
+            record.faults,
+            record.classes,
+            record.seconds,
+            record.faults_per_sec,
+            record.peak_nodes,
+            record.order,
+            record.threads,
+        );
+        record_bench_result(&record);
+    }
+}

@@ -41,11 +41,13 @@ pub fn parallelism_from_env() -> Parallelism {
     }
 }
 
-/// One measured sweep, as recorded in `BENCH_PR4.json`.
+/// One measured sweep, as recorded in `BENCH_PR6.json`.
 ///
 /// Bench targets run as separate processes, so the file is merged by key
-/// (`circuit/fault_model/threads=N`) instead of rewritten: re-running one
-/// target updates its own entries and leaves the others in place.
+/// (`circuit/fault_model/threads=N/order=S`) instead of rewritten:
+/// re-running one target updates its own entries and leaves the others in
+/// place — and identity-vs-auto order runs of the same sweep coexist, which
+/// is how the ordering speedups stay visible release over release.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     /// Benchmark circuit name.
@@ -58,6 +60,9 @@ pub struct BenchRecord {
     pub classes: usize,
     /// Worker threads of the sweep.
     pub threads: usize,
+    /// Variable-order strategy the sweep's engines were built with
+    /// (`"identity"`, `"fanin-dfs"`, `"interleave"`, `"auto"`, ...).
+    pub order: String,
     /// Wall-clock seconds for the end-to-end sweep (engine build included).
     pub seconds: f64,
     /// `faults / seconds`.
@@ -74,7 +79,8 @@ pub struct BenchRecord {
 }
 
 impl BenchRecord {
-    /// Runs one timed end-to-end sweep and captures its counters.
+    /// Runs one timed end-to-end sweep with the default engine (identity
+    /// order) and captures its counters.
     pub fn measure(
         circuit: &Circuit,
         faults: &[Fault],
@@ -85,8 +91,19 @@ impl BenchRecord {
             parallelism,
             ..Default::default()
         };
+        Self::measure_with(circuit, faults, fault_model, &config)
+    }
+
+    /// Runs one timed end-to-end sweep under an explicit [`SweepConfig`]
+    /// (ordering strategy, budget, collapse, ...) and captures its counters.
+    pub fn measure_with(
+        circuit: &Circuit,
+        faults: &[Fault],
+        fault_model: &str,
+        config: &SweepConfig,
+    ) -> BenchRecord {
         let t0 = Instant::now();
-        let sweep = sweep_universe(circuit, faults, &config);
+        let sweep = sweep_universe(circuit, faults, config);
         let seconds = t0.elapsed().as_secs_f64();
         let stats = sweep.merged_stats();
         record_telemetry_report(circuit, fault_model, &sweep);
@@ -95,7 +112,8 @@ impl BenchRecord {
             fault_model: fault_model.to_string(),
             faults: faults.len(),
             classes: sweep.classes,
-            threads: parallelism.workers().max(1),
+            threads: config.parallelism.workers().max(1),
+            order: sweep.order.clone(),
             seconds,
             faults_per_sec: faults.len() as f64 / seconds.max(f64::MIN_POSITIVE),
             op_steps: stats.op_cumulative_total().lookups,
@@ -106,8 +124,8 @@ impl BenchRecord {
 
     fn key(&self) -> String {
         format!(
-            "{}/{}/threads={}",
-            self.circuit, self.fault_model, self.threads
+            "{}/{}/threads={}/order={}",
+            self.circuit, self.fault_model, self.threads, self.order
         )
     }
 
@@ -115,7 +133,7 @@ impl BenchRecord {
         format!(
             concat!(
                 "{{\"circuit\":\"{}\",\"fault_model\":\"{}\",\"faults\":{},",
-                "\"classes\":{},\"threads\":{},\"seconds\":{:.6},",
+                "\"classes\":{},\"threads\":{},\"order\":\"{}\",\"seconds\":{:.6},",
                 "\"faults_per_sec\":{:.1},\"op_steps\":{},",
                 "\"unique_lookups\":{},\"peak_nodes\":{}}}"
             ),
@@ -124,6 +142,7 @@ impl BenchRecord {
             self.faults,
             self.classes,
             self.threads,
+            self.order,
             self.seconds,
             self.faults_per_sec,
             self.op_steps,
@@ -156,16 +175,17 @@ fn record_telemetry_report(circuit: &Circuit, fault_model: &str, sweep: &SweepRe
 }
 
 /// Where the bench results land: `DP_BENCH_JSON` when set, else
-/// `BENCH_PR4.json` at the workspace root.
+/// `BENCH_PR6.json` at the workspace root.
 fn bench_json_path() -> PathBuf {
     match std::env::var_os("DP_BENCH_JSON") {
         Some(p) => PathBuf::from(p),
-        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json"),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json"),
     }
 }
 
 /// Merges `record` into the bench results file (keyed by
-/// `circuit/fault_model/threads=N`), creating the file on first use. The
+/// `circuit/fault_model/threads=N/order=S`), creating the file on first
+/// use. The
 /// format is one JSON object with one entry per line, so the file both
 /// parses as JSON and diffs line-by-line.
 pub fn record_bench_result(record: &BenchRecord) {

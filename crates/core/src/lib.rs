@@ -66,6 +66,7 @@ mod engine;
 mod error;
 mod good;
 mod observability;
+mod order;
 mod parallel;
 mod redundancy;
 mod report;
@@ -78,6 +79,7 @@ pub use engine::{DiffProp, EngineConfig, FaultAnalysis, MultiFaultAnalysis};
 pub use error::AnalysisError;
 pub use good::GoodFunctions;
 pub use observability::Observability;
+pub use order::OrderStrategy;
 pub use dp_telemetry::TelemetryLevel;
 pub use parallel::{
     analyze_universe, analyze_universe_with, sweep_universe, FallbackConfig, FaultOutcome,

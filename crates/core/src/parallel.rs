@@ -305,6 +305,11 @@ pub struct SweepResult {
     pub workers: usize,
     /// Work-queue chunk size actually used, in classes.
     pub chunk: usize,
+    /// Name of the variable-order strategy the workers built with
+    /// (`SweepConfig.engine.order`); recorded in the execution section of
+    /// `sweep_report.json`. Execution metadata only — summaries are
+    /// bit-identical across orders.
+    pub order: String,
     /// End-to-end wall-clock time of the sweep, including collapsing and
     /// the merge.
     pub wall: Duration,
@@ -479,6 +484,7 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
         collapsed: config.collapse,
         workers,
         chunk,
+        order: config.engine.order.name(),
         wall: wall_t0.elapsed(),
         totals,
     }

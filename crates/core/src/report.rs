@@ -85,6 +85,7 @@ pub fn sweep_report(circuit: &str, fault_model: &str, result: &SweepResult) -> S
             threads: result.workers as u32,
             chunk: result.chunk as u32,
             collapse: result.collapsed,
+            order: result.order.clone(),
             wall_nanos: result.wall.as_nanos().min(u64::MAX as u128) as u64,
             totals: result.totals.clone(),
             shards: result

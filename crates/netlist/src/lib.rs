@@ -15,6 +15,9 @@
 //! * the paper's layout-estimate **topology model** (§2.2): X = level from
 //!   the primary inputs, Y = average of fanin Y coordinates
 //!   ([`Placement`]),
+//! * static OBDD **variable-ordering heuristics** derived from the circuit
+//!   DAG and the placement estimates ([`ordering::fanin_dfs_order`],
+//!   [`ordering::interleave_order`]),
 //! * netlist **transformations**: n-input → 2-input gate decomposition and
 //!   the XOR → four-NAND expansion that derives C1355 from C499
 //!   ([`decompose_two_input`], [`expand_xor_to_nand`]),
@@ -36,6 +39,7 @@ mod bench_format;
 mod circuit;
 mod error;
 pub mod generators;
+pub mod ordering;
 mod reach;
 mod scoap;
 mod topology;

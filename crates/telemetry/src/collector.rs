@@ -143,11 +143,16 @@ pub enum CounterKind {
     ClassesAnalyzed,
     /// Fault summaries produced.
     FaultsSummarized,
+    /// Mid-sweep dynamic reorderings (`sift`) the engine triggered.
+    SiftRuns,
+    /// Live nodes reclaimed by those sifts (size before minus size after,
+    /// summed over runs).
+    SiftNodesReclaimed,
 }
 
 impl CounterKind {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 14;
+    pub const COUNT: usize = 16;
     /// All counters, in serialisation order.
     pub const ALL: [CounterKind; CounterKind::COUNT] = [
         CounterKind::UniqueLookups,
@@ -164,6 +169,8 @@ impl CounterKind {
         CounterKind::ChunksClaimed,
         CounterKind::ClassesAnalyzed,
         CounterKind::FaultsSummarized,
+        CounterKind::SiftRuns,
+        CounterKind::SiftNodesReclaimed,
     ];
 
     /// Stable snake_case name, as serialised in `sweep_report.json`.
@@ -183,6 +190,8 @@ impl CounterKind {
             CounterKind::ChunksClaimed => "chunks_claimed",
             CounterKind::ClassesAnalyzed => "classes_analyzed",
             CounterKind::FaultsSummarized => "faults_summarized",
+            CounterKind::SiftRuns => "sift_runs",
+            CounterKind::SiftNodesReclaimed => "sift_nodes_reclaimed",
         }
     }
 

@@ -75,6 +75,10 @@ pub struct SweepExecution {
     pub chunk: u32,
     /// Whether structural fault collapsing was on.
     pub collapse: bool,
+    /// Variable-order strategy the workers built their managers with
+    /// (`"identity"`, `"fanin-dfs"`, `"interleave"`, `"auto"`, ...). An
+    /// execution fact: results never depend on it, cost always does.
+    pub order: String,
     /// Sweep wall-clock nanoseconds, end to end.
     pub wall_nanos: u64,
     /// Merge of every shard's telemetry (plus the sweep-level span).
@@ -165,6 +169,7 @@ fn execution_to_json(e: &SweepExecution) -> JsonValue {
         ("threads", JsonValue::Int(e.threads as i128)),
         ("chunk", JsonValue::Int(e.chunk as i128)),
         ("collapse", JsonValue::Bool(e.collapse)),
+        ("order", JsonValue::Str(e.order.clone())),
         (
             "telemetry_level",
             JsonValue::Str(e.totals.level().name().to_string()),
@@ -270,6 +275,7 @@ pub fn validate_report(doc: &JsonValue) -> Result<(), String> {
         require_u64(exec, "threads", &eat)?;
         require_u64(exec, "chunk", &eat)?;
         require_bool(exec, "collapse", &eat)?;
+        require_str(exec, "order", &eat)?;
         require_level(exec, "telemetry_level", &eat)?;
         require_u64(exec, "wall_nanos", &eat)?;
         let totals = require_obj(exec, "totals", &eat)?;
@@ -430,6 +436,7 @@ mod tests {
                     threads: 2,
                     chunk: 4,
                     collapse: true,
+                    order: "identity".into(),
                     wall_nanos: 1_000,
                     totals: snap.clone(),
                     shards: vec![ShardExecution {

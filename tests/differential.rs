@@ -14,11 +14,13 @@ mod common;
 use common::{
     assert_matches_golden, bridging_universe, current_golden_lines, stuck_at_universe, GOLDEN_PATH,
 };
-use diffprop::core::{analyze_universe, EngineConfig, Parallelism, SweepConfig};
+use diffprop::core::{
+    analyze_universe, DiffProp, EngineConfig, OrderStrategy, Parallelism, SweepConfig,
+};
 use diffprop::faults::Fault;
-use diffprop::netlist::generators::{c17, c95, full_adder};
+use diffprop::netlist::generators::{c17, c432_surrogate, c499_surrogate, c95, full_adder};
 use diffprop::netlist::Circuit;
-use diffprop::sim::{exhaustive_detectability, faulty_outputs};
+use diffprop::sim::{detects, exhaustive_detectability, faulty_outputs};
 
 /// Per-fault brute-force truth: exact detecting-vector count and the set of
 /// outputs where the fault is ever visible.
@@ -167,4 +169,109 @@ fn c95_bridging_matches_exhaustive() {
     // c95's NFBF sets are large; a deterministic 120-per-kind slice keeps
     // the oracle (512 vectors x scalar resimulation per fault) affordable.
     check_universe(&c, &bridging_universe(&c, 120));
+}
+
+// ---------------------------------------------------------------------------
+// Big-surrogate layer: the ordering heuristics pinned to ground truth.
+//
+// At 36/41 inputs the exhaustive oracle above (2^n scalar simulations per
+// fault) is out of reach, so the surrogates get the feasible projection of
+// the same idea, on a deterministic sample of stuck-at faults:
+//
+// * two *independently ordered* engines (fanin-DFS and interleave resolve
+//   to different permutations) must agree bit-for-bit on every exact
+//   metric — OBDD canonicity makes shared mistakes across orders
+//   essentially impossible;
+// * the complete test set of each fault is spot-checked vector-by-vector
+//   against the scalar fault simulator (shared-code-free, like the small
+//   circuits' oracle): membership in the BDD test set must equal scalar
+//   detection for every sampled vector.
+// ---------------------------------------------------------------------------
+
+/// Deterministic pseudo-random input vector stream (splitmix64 bits).
+fn sampled_vectors(n: usize, count: usize, mut state: u64) -> Vec<Vec<bool>> {
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..count)
+        .map(|_| {
+            let mut v = Vec::with_capacity(n);
+            let mut bits = 0u64;
+            for i in 0..n {
+                if i % 64 == 0 {
+                    bits = next();
+                }
+                v.push(bits >> (i % 64) & 1 == 1);
+            }
+            v
+        })
+        .collect()
+}
+
+/// An evenly spaced, deterministic sample of at most `cap` universe faults.
+fn sampled_faults(circuit: &Circuit, cap: usize) -> Vec<Fault> {
+    let universe = stuck_at_universe(circuit);
+    let step = universe.len().div_ceil(cap).max(1);
+    universe.into_iter().step_by(step).take(cap).collect()
+}
+
+fn check_surrogate_sampled(circuit: &Circuit, fault_cap: usize, vectors_per_fault: usize) {
+    let faults = sampled_faults(circuit, fault_cap);
+    assert!(!faults.is_empty() && faults.len() <= 64);
+    let config = |order| EngineConfig {
+        order,
+        ..Default::default()
+    };
+    let mut dfs = DiffProp::with_config(circuit, config(OrderStrategy::FaninDfs));
+    let mut ilv = DiffProp::with_config(circuit, config(OrderStrategy::Interleave));
+    // The two engines really run different permutations.
+    assert_ne!(
+        dfs.good().manager().order(),
+        ilv.good().manager().order(),
+        "heuristics coincide on {}; the cross-order check would be vacuous",
+        circuit.name()
+    );
+    let vectors = sampled_vectors(circuit.num_inputs(), vectors_per_fault, 1990);
+    for fault in &faults {
+        let a = dfs.analyze(fault);
+        let b = ilv.analyze(fault);
+        assert_eq!(
+            a.test_count, b.test_count,
+            "orders disagree on test_count for {fault} on {}",
+            circuit.name()
+        );
+        assert_eq!(
+            a.detectability.to_bits(),
+            b.detectability.to_bits(),
+            "orders disagree on detectability for {fault}"
+        );
+        assert_eq!(
+            a.observable_outputs, b.observable_outputs,
+            "orders disagree on observability for {fault}"
+        );
+        assert!(a.site_function_constant, "{fault} site not constant");
+        // Scalar oracle: BDD test-set membership == scalar fault detection.
+        for v in &vectors {
+            assert_eq!(
+                dfs.good().manager().eval(a.test_set, v),
+                detects(circuit, fault, v),
+                "test set of {fault} wrong at a sampled vector on {}",
+                circuit.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn c432s_sampled_stuck_at_matches_scalar_oracle_under_ordering() {
+    check_surrogate_sampled(&c432_surrogate(), 48, 96);
+}
+
+#[test]
+fn c499s_sampled_stuck_at_matches_scalar_oracle_under_ordering() {
+    check_surrogate_sampled(&c499_surrogate(), 24, 64);
 }
