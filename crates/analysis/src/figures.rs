@@ -112,6 +112,7 @@ impl ExperimentConfig {
             collapse: self.collapse,
             chunk: None,
             telemetry: self.telemetry,
+            ..Default::default()
         }
     }
 

@@ -39,6 +39,7 @@ mod manager;
 mod ops;
 mod order;
 mod reorder;
+mod snapshot;
 mod stats;
 
 pub use budget::BudgetConfig;
@@ -47,4 +48,5 @@ pub use error::BddError;
 pub use manager::{Manager, NodeId, Remap, Var};
 pub use ops::BinOp;
 pub use order::{identity_order, inverse_order};
+pub use snapshot::FrozenManager;
 pub use stats::{CacheCounters, ManagerStats, OpKind};

@@ -26,10 +26,12 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::budget::BudgetConfig;
 use crate::error::BddError;
 use crate::ops::OpKey;
+use crate::snapshot::{FrozenBase, FrozenManager};
 use crate::stats::ManagerStats;
 
 /// A variable index in `0..num_vars`.
@@ -147,6 +149,11 @@ pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
 /// ```
 #[derive(Debug)]
 pub struct Manager {
+    /// The frozen base this manager extends, if it was produced by
+    /// [`FrozenManager::thaw`]. Node indices below the base length resolve
+    /// against the shared arena; `nodes`/`unique` then hold only the private
+    /// delta. `None` for ordinary (private) managers.
+    base: Option<Arc<FrozenBase>>,
     pub(crate) nodes: Vec<Node>,
     pub(crate) unique: HashMap<Node, NodeId>,
     pub(crate) op_cache: HashMap<OpKey, NodeId>,
@@ -174,6 +181,7 @@ impl Manager {
     pub fn new(num_vars: usize) -> Self {
         assert!(num_vars < (u32::MAX - 2) as usize, "too many variables");
         let mut m = Manager {
+            base: None,
             nodes: Vec::with_capacity(1024),
             unique: HashMap::new(),
             op_cache: HashMap::new(),
@@ -217,14 +225,85 @@ impl Manager {
         Ok(m)
     }
 
+    /// Consumes this manager and freezes its node arena, unique table and
+    /// variable order into an immutable, shareable [`FrozenManager`].
+    ///
+    /// Every [`NodeId`] issued by this manager keeps denoting the same
+    /// function in every delta manager thawed from the snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this manager is itself a delta manager (re-freezing would
+    /// alias the base arena twice), or if a budget trip is pending (the
+    /// table is exact on a trip, but the caller clearly did not finish what
+    /// it meant to freeze).
+    pub fn freeze(self) -> FrozenManager {
+        assert!(
+            self.base.is_none(),
+            "cannot freeze a delta manager (it already extends a frozen base)"
+        );
+        assert!(
+            self.tripped.is_none(),
+            "cannot freeze a manager with a pending budget trip"
+        );
+        FrozenManager::from_base(FrozenBase {
+            nodes: self.nodes,
+            unique: self.unique,
+            var_to_level: self.var_to_level,
+            level_to_var: self.level_to_var,
+            build_stats: self.stats,
+        })
+    }
+
+    /// Constructs a delta manager over `base` (see [`FrozenManager::thaw`]).
+    pub(crate) fn thawed(base: Arc<FrozenBase>) -> Manager {
+        let mut m = Manager {
+            var_to_level: base.var_to_level.clone(),
+            level_to_var: base.level_to_var.clone(),
+            base: Some(base),
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            op_cache: HashMap::new(),
+            stats: ManagerStats::default(),
+            budget: BudgetConfig::UNLIMITED,
+            op_steps: 0,
+            tripped: None,
+        };
+        m.stats.peak_nodes = m.num_nodes();
+        m.stats.base_nodes = m.base_len();
+        m
+    }
+
+    /// `true` when this manager extends a frozen base (its variable order is
+    /// fixed; reordering is rejected).
+    pub fn has_frozen_base(&self) -> bool {
+        self.base.is_some()
+    }
+
+    /// Number of nodes owned by the frozen base (0 for private managers).
+    fn base_len(&self) -> usize {
+        self.base.as_ref().map_or(0, |b| b.nodes.len())
+    }
+
+    /// The stored node at a global index, resolving against the frozen base
+    /// for indices below the base length.
+    pub(crate) fn node_at(&self, index: usize) -> Node {
+        match &self.base {
+            Some(base) if index < base.nodes.len() => base.nodes[index],
+            Some(base) => self.nodes[index - base.nodes.len()],
+            None => self.nodes[index],
+        }
+    }
+
     /// Number of variables this manager was created with.
     pub fn num_vars(&self) -> usize {
         self.var_to_level.len()
     }
 
-    /// Total number of nodes currently allocated (including the terminal).
+    /// Total number of nodes currently allocated (including the terminal and
+    /// any frozen base this manager extends).
     pub fn num_nodes(&self) -> usize {
-        self.nodes.len()
+        self.base_len() + self.nodes.len()
     }
 
     /// The level (position in the order) of variable `v`.
@@ -267,7 +346,7 @@ impl Manager {
         if n.is_terminal() {
             TERMINAL_LEVEL
         } else {
-            self.var_to_level[self.nodes[n.index()].var as usize]
+            self.var_to_level[self.node_at(n.index()).var as usize]
         }
     }
 
@@ -278,7 +357,7 @@ impl Manager {
     /// Panics if `n` is a terminal.
     pub fn node_var(&self, n: NodeId) -> Var {
         assert!(!n.is_terminal(), "terminals have no decision variable");
-        self.nodes[n.index()].var
+        self.node_at(n.index()).var
     }
 
     /// The else-cofactor (`var = 0`) **of the function `n` denotes**: the
@@ -289,7 +368,7 @@ impl Manager {
     /// Panics if `n` is a terminal.
     pub fn node_lo(&self, n: NodeId) -> NodeId {
         assert!(!n.is_terminal(), "terminals have no children");
-        let lo = self.nodes[n.index()].lo;
+        let lo = self.node_at(n.index()).lo;
         if n.is_complemented() {
             lo.complemented()
         } else {
@@ -306,7 +385,7 @@ impl Manager {
     /// Panics if `n` is a terminal.
     pub fn node_hi(&self, n: NodeId) -> NodeId {
         assert!(!n.is_terminal(), "terminals have no children");
-        let hi = self.nodes[n.index()].hi;
+        let hi = self.node_at(n.index()).hi;
         if n.is_complemented() {
             hi.complemented()
         } else {
@@ -379,12 +458,26 @@ impl Manager {
             (lo, hi)
         };
         let node = Node { var, lo, hi };
-        let id = if let Some(&id) = self.unique.get(&node) {
+        // Two-level lookup: the frozen base first (immutable, so a present
+        // node is always a hit), then the private delta table. Each probe
+        // resolves against exactly one table, keeping
+        // `unique.lookups == base_hits + delta_lookups`.
+        let base_hit = self
+            .base
+            .as_ref()
+            .and_then(|base| base.unique.get(&node))
+            .copied();
+        let id = if let Some(id) = base_hit {
             self.stats.unique.hit();
+            self.stats.base_hits += 1;
+            id
+        } else if let Some(&id) = self.unique.get(&node) {
+            self.stats.unique.hit();
+            self.stats.delta_lookups += 1;
             id
         } else {
             if budgeted
-                && self.budget.max_nodes.is_some_and(|max| self.nodes.len() >= max)
+                && self.budget.max_nodes.is_some_and(|max| self.num_nodes() >= max)
             {
                 // Trip before counting the miss or allocating, so the stats
                 // invariant `peak_nodes ≤ 1 + unique.misses` is untouched.
@@ -392,10 +485,11 @@ impl Manager {
                 return NodeId::TRUE;
             }
             self.stats.unique.miss();
-            let id = NodeId::from_index(self.nodes.len());
+            self.stats.delta_lookups += 1;
+            let id = NodeId::from_index(self.num_nodes());
             self.nodes.push(node);
             self.unique.insert(node, id);
-            self.stats.peak_nodes = self.stats.peak_nodes.max(self.nodes.len());
+            self.stats.peak_nodes = self.stats.peak_nodes.max(self.num_nodes());
             id
         };
         if flip {
@@ -443,7 +537,7 @@ impl Manager {
     fn trip(&mut self) {
         if self.tripped.is_none() {
             self.tripped = Some(BddError::BudgetExceeded {
-                nodes: self.nodes.len(),
+                nodes: self.num_nodes(),
                 op_steps: self.op_steps,
             });
             self.stats.budget_trips += 1;
@@ -497,7 +591,7 @@ impl Manager {
         let mut parity = false;
         while !n.is_terminal() {
             parity ^= n.is_complemented();
-            let node = self.nodes[n.index()];
+            let node = self.node_at(n.index());
             n = if assignment[node.var as usize] { node.hi } else { node.lo };
         }
         n.is_true() ^ parity
@@ -515,7 +609,7 @@ impl Manager {
             if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
-            let node = self.nodes[x.index()];
+            let node = self.node_at(x.index());
             stack.push(node.lo);
             stack.push(node.hi);
         }
@@ -543,7 +637,7 @@ impl Manager {
             if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
-            let node = self.nodes[x.index()];
+            let node = self.node_at(x.index());
             present[node.var as usize] = true;
             stack.push(node.lo);
             stack.push(node.hi);
@@ -594,7 +688,9 @@ impl Manager {
     ///
     /// Panics with a description of the first violation found.
     pub fn assert_canonical(&self) {
-        for (i, node) in self.nodes.iter().enumerate().skip(1) {
+        let base_len = self.base_len();
+        for i in 1..self.num_nodes() {
+            let node = self.node_at(i);
             assert!(
                 !node.hi.is_complemented(),
                 "node {i}: hi edge {} is complemented",
@@ -608,10 +704,21 @@ impl Manager {
                     "node {i}: child {child} at level ≤ parent"
                 );
             }
-            let id = self
-                .unique
-                .get(node)
-                .unwrap_or_else(|| panic!("node {i} missing from the unique table"));
+            // Each node lives in exactly one unique table: the base holds
+            // the frozen slots, the delta the rest (never duplicating a base
+            // node, because mk probes the base first).
+            let id = if i < base_len {
+                self.base.as_ref().unwrap().unique.get(&node)
+            } else {
+                assert!(
+                    self.base
+                        .as_ref()
+                        .is_none_or(|b| !b.unique.contains_key(&node)),
+                    "delta node {i} duplicates a base node"
+                );
+                self.unique.get(&node)
+            }
+            .unwrap_or_else(|| panic!("node {i} missing from the unique table"));
             assert_eq!(
                 id.index(),
                 i,
@@ -619,11 +726,24 @@ impl Manager {
             );
             assert!(!id.is_complemented(), "unique table stores a complemented edge");
         }
-        assert_eq!(
-            self.unique.len(),
-            self.nodes.len() - 1,
-            "unique table size disagrees with the node table"
-        );
+        if let Some(base) = &self.base {
+            assert_eq!(
+                base.unique.len(),
+                base.nodes.len() - 1,
+                "base unique table size disagrees with the base node table"
+            );
+            assert_eq!(
+                self.unique.len(),
+                self.nodes.len(),
+                "delta unique table size disagrees with the delta node table"
+            );
+        } else {
+            assert_eq!(
+                self.unique.len(),
+                self.nodes.len() - 1,
+                "unique table size disagrees with the node table"
+            );
+        }
     }
 
     /// Garbage-collects every node not reachable from `roots`, compacting the
@@ -655,17 +775,32 @@ impl Manager {
         // Post-order placement over node *indices*: children are compacted
         // before their parents regardless of slot order. Complement bits
         // live on edges, so the index graph is what gets walked.
+        //
+        // With a frozen base, only delta slots move: base indices are
+        // identity-mapped up front (the base arena is immutable and closed —
+        // base nodes only reference base nodes — so the walk never descends
+        // into it), and surviving delta nodes compact to the slots directly
+        // above the base.
         const UNPLACED: u32 = u32::MAX;
-        let mut map = vec![UNPLACED; self.nodes.len()];
-        let mut new_nodes = vec![self.nodes[0]];
-        map[0] = 0;
+        let base_len = self.base_len();
+        let mut map = vec![UNPLACED; self.num_nodes()];
+        let mut new_nodes = Vec::new();
+        if base_len == 0 {
+            // Private manager: the terminal is delta slot 0 and survives.
+            new_nodes.push(self.nodes[0]);
+            map[0] = 0;
+        } else {
+            for (i, slot) in map.iter_mut().enumerate().take(base_len) {
+                *slot = i as u32;
+            }
+        }
         let mut stack: Vec<(usize, bool)> =
             roots.iter().map(|&r| (r.index(), false)).collect();
         while let Some((i, expanded)) = stack.pop() {
             if map[i] != UNPLACED {
                 continue;
             }
-            let node = self.nodes[i];
+            let node = self.nodes[i - base_len];
             if expanded {
                 let remap_edge = |e: NodeId, map: &[u32]| -> NodeId {
                     let idx = NodeId::from_index(map[e.index()] as usize);
@@ -680,7 +815,7 @@ impl Manager {
                     lo: remap_edge(node.lo, &map),
                     hi: remap_edge(node.hi, &map),
                 };
-                map[i] = new_nodes.len() as u32;
+                map[i] = (base_len + new_nodes.len()) as u32;
                 new_nodes.push(remapped);
             } else {
                 stack.push((i, true));
@@ -690,8 +825,9 @@ impl Manager {
         }
         self.nodes = new_nodes;
         self.unique.clear();
-        for (i, node) in self.nodes.iter().enumerate().skip(1) {
-            self.unique.insert(*node, NodeId::from_index(i));
+        let keep_from = if base_len == 0 { 1 } else { 0 };
+        for (i, node) in self.nodes.iter().enumerate().skip(keep_from) {
+            self.unique.insert(*node, NodeId::from_index(base_len + i));
         }
         self.op_cache.clear();
         self.stats.reset_op_counters();
@@ -728,7 +864,7 @@ impl Manager {
             if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
-            let node = self.nodes[x.index()];
+            let node = self.node_at(x.index());
             let _ = writeln!(out, "  {} [label=\"x{}\"];", label(x), node.var);
             let lo_style = if node.lo.is_complemented() { "dashed" } else { "dotted" };
             let _ = writeln!(

@@ -25,8 +25,14 @@ impl Manager {
     ///
     /// # Panics
     ///
-    /// Panics if `level + 1 >= num_vars()`.
+    /// Panics if `level + 1 >= num_vars()`, or if this manager extends a
+    /// frozen base (the base arena is shared and immutable, so its variable
+    /// order is fixed at freeze time).
     pub fn swap_adjacent_levels(&mut self, level: u32) {
+        assert!(
+            !self.has_frozen_base(),
+            "frozen-base managers have a fixed order; reorder before freezing"
+        );
         let n = self.num_vars() as u32;
         assert!(level + 1 < n, "cannot swap the last level down");
         let u = self.var_at_level(level);
@@ -120,7 +126,7 @@ impl Manager {
             if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
-            let node = self.nodes[x.index()];
+            let node = self.node_at(x.index());
             stack.push(node.lo);
             stack.push(node.hi);
         }
@@ -156,6 +162,10 @@ impl Manager {
     /// # Ok::<(), dp_bdd::BddError>(())
     /// ```
     pub fn sift(&mut self, roots: &[NodeId]) -> usize {
+        assert!(
+            !self.has_frozen_base(),
+            "frozen-base managers have a fixed order; sift before freezing"
+        );
         let n = self.num_vars() as u32;
         if n < 2 {
             return self.live_size(roots);
@@ -204,7 +214,7 @@ impl Manager {
             if x.is_terminal() || !seen.insert(x.index()) {
                 continue;
             }
-            let node = self.nodes[x.index()];
+            let node = self.node_at(x.index());
             if node.var == var {
                 count += 1;
             }

@@ -151,7 +151,24 @@ impl CacheCounters {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ManagerStats {
     /// Unique-table (hash-consing) probes made by `mk`. Cumulative.
+    ///
+    /// With a frozen base (see [`FrozenManager`](crate::FrozenManager)) each
+    /// probe resolves against exactly one of the two tables, so
+    /// `unique.lookups == base_hits + delta_lookups` is an invariant rather
+    /// than double counting — the legacy sum stays meaningful.
     pub unique: CacheCounters,
+    /// Probes resolved by the frozen base table (always a hit: the base is
+    /// immutable, so a probe either finds the node there or falls through to
+    /// the delta table). Zero for managers without a base. Cumulative.
+    pub base_hits: u64,
+    /// Probes that reached the private delta table (hit or miss). For a
+    /// manager without a base this equals `unique.lookups`. Cumulative.
+    pub delta_lookups: u64,
+    /// Nodes owned by the frozen base this manager extends (terminals
+    /// included); 0 for a private manager. Needed to interpret `peak_nodes`:
+    /// a delta manager starts at `base_nodes`, so its allocation invariant is
+    /// `peak_nodes ≤ max(base_nodes, 1) + unique.misses`.
+    pub base_nodes: usize,
     /// Per-family op-cache probes for the *current* cache generation.
     /// Reset when the op cache is cleared.
     op: [CacheCounters; 9],
@@ -225,6 +242,11 @@ impl ManagerStats {
         }
         ManagerStats {
             unique: self.unique.merged(other.unique),
+            base_hits: self.base_hits + other.base_hits,
+            delta_lookups: self.delta_lookups + other.delta_lookups,
+            // Shards extending the same frozen base share its nodes; summing
+            // would double-count a structure that exists once.
+            base_nodes: self.base_nodes.max(other.base_nodes),
             op,
             op_prior,
             gc_runs: self.gc_runs + other.gc_runs,
@@ -249,8 +271,10 @@ impl fmt::Display for ManagerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "unique: {} lookups, {:.1}% hit | peak {} nodes | {} gc runs | {} op steps | {} budget trips",
+            "unique: {} lookups ({} base hits, {} delta), {:.1}% hit | peak {} nodes | {} gc runs | {} op steps | {} budget trips",
             self.unique.lookups,
+            self.base_hits,
+            self.delta_lookups,
             100.0 * self.unique.hit_rate(),
             self.peak_nodes,
             self.gc_runs,
@@ -321,7 +345,9 @@ mod tests {
         b[OpKind::Xor].hit();
         b.peak_nodes = 7;
         b.op_steps = 50;
+        b.base_nodes = 5;
         let m = a.merged(&b);
+        assert_eq!(m.base_nodes, 5, "shared base is not double counted");
         assert_eq!(m.unique.lookups, 2);
         assert_eq!(m[OpKind::Xor].lookups, 2);
         assert_eq!(m[OpKind::Xor].hits, 1);

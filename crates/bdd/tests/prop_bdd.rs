@@ -107,7 +107,7 @@ fn arb_expr_n(nvars: u32) -> impl Strategy<Value = Expr> {
 fn truth_table(e: &Expr, nvars: u32) -> Vec<u64> {
     let bits = 1usize << nvars;
     let words = bits.div_ceil(64);
-    let mask_last = if bits % 64 == 0 { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
+    let mask_last = if bits.is_multiple_of(64) { u64::MAX } else { (1u64 << (bits % 64)) - 1 };
     let mut table = match e {
         Expr::Const(b) => vec![if *b { u64::MAX } else { 0 }; words],
         Expr::Var(v) => (0..words)

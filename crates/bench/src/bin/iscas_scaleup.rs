@@ -1,10 +1,12 @@
-//! `iscas_scaleup` — full checkpoint stuck-at sweeps of the four ISCAS-85
-//! surrogates (`c432s`, `c499s`, `c1355s`, `c1908s`), timed end to end and
-//! merged into the bench results file (`BENCH_PR6.json`, or `DP_BENCH_JSON`).
+//! `iscas_scaleup` — full checkpoint stuck-at (or sampled-NFBF) sweeps of
+//! the exact `alu74181` and the four ISCAS-85 surrogates (`c432s`,
+//! `c499s`, `c1355s`, `c1908s`), timed end to end and merged into the
+//! bench results file (`BENCH_PR7.json`, or `DP_BENCH_JSON`).
 //!
 //! ```text
 //! iscas_scaleup [--order identity|fanin-dfs|interleave|auto] [--threads N]
-//!               [--only c432s,c499s,...]
+//!               [--only c432s,c499s,...] [--model stuck_at|nfbf]
+//!               [--sample N] [--seed S]
 //! ```
 //!
 //! The default is `--order auto` — the point of this driver is to keep the
@@ -13,10 +15,16 @@
 //! are keyed by order, so both survive in the file). `--threads` falls back
 //! to `DP_BENCH_THREADS`, then serial. `--only` restricts the surrogate set
 //! — recording the identity baseline of `c432s` alone is affordable, while
-//! identity-order `c1355s` is not. Set `DP_TELEMETRY_JSON=PATH` to also
-//! write a schema-valid `sweep_report.json` covering every sweep.
+//! identity-order `c1355s` is not. `--model nfbf` sweeps non-feedback
+//! bridging faults instead of stuck-at; the full NFBF universes of the big
+//! surrogates are quadratic in net count, so `--sample N` (with `--seed S`,
+//! default 1990) draws a deterministic, thread-invariant sample ranked by a
+//! splitmix64 hash of the global fault index — such records are keyed
+//! `nfbf_sN` so differently sized samples coexist in the file. Set
+//! `DP_TELEMETRY_JSON=PATH` to also write a schema-valid
+//! `sweep_report.json` covering every sweep.
 
-use dp_bench::{parallelism_from_env, record_bench_result, BenchRecord};
+use dp_bench::{parallelism_from_env, record_bench_result, sampled_nfbf_universe, BenchRecord};
 use dp_core::{EngineConfig, OrderStrategy, Parallelism, SweepConfig};
 use dp_faults::{checkpoint_faults, Fault};
 use dp_netlist::generators;
@@ -24,7 +32,7 @@ use dp_netlist::generators;
 fn usage() -> ! {
     eprintln!(
         "usage: iscas_scaleup [--order identity|fanin-dfs|interleave|auto|random:SEED] \
-         [--threads N] [--only c432s,c499s,...]"
+         [--threads N] [--only c432s,c499s,...] [--model stuck_at|nfbf] [--sample N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -33,6 +41,9 @@ fn main() {
     let mut order = OrderStrategy::Auto;
     let mut parallelism = parallelism_from_env();
     let mut only: Option<Vec<String>> = None;
+    let mut model = "stuck_at".to_string();
+    let mut sample: usize = 0;
+    let mut seed: u64 = 1990;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let (flag, inline) = match arg.split_once('=') {
@@ -63,8 +74,34 @@ fn main() {
             "--only" => {
                 only = Some(value().split(',').map(str::to_string).collect());
             }
+            "--model" => {
+                let v = value();
+                if v != "stuck_at" && v != "nfbf" {
+                    eprintln!("--model: unknown fault model `{v}`");
+                    usage();
+                }
+                model = v;
+            }
+            "--sample" => {
+                let v = value();
+                sample = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--sample: `{v}` is not a number");
+                    usage()
+                });
+            }
+            "--seed" => {
+                let v = value();
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--seed: `{v}` is not a number");
+                    usage()
+                });
+            }
             _ => usage(),
         }
+    }
+    if sample > 0 && model != "nfbf" {
+        eprintln!("--sample only applies to --model nfbf");
+        usage();
     }
 
     let config = SweepConfig {
@@ -76,6 +113,7 @@ fn main() {
         ..Default::default()
     };
     for circuit in [
+        generators::alu74181(),
         generators::c432_surrogate(),
         generators::c499_surrogate(),
         generators::c1355_surrogate(),
@@ -86,11 +124,26 @@ fn main() {
                 continue;
             }
         }
-        let faults: Vec<Fault> = checkpoint_faults(&circuit)
-            .into_iter()
-            .map(Fault::from)
-            .collect();
-        let record = BenchRecord::measure_with(&circuit, &faults, "stuck_at", &config);
+        let (faults, model_name): (Vec<Fault>, String) = if model == "nfbf" {
+            let faults = if sample > 0 {
+                sampled_nfbf_universe(&circuit, sample, seed)
+            } else {
+                sampled_nfbf_universe(&circuit, usize::MAX, seed)
+            };
+            let name = if sample > 0 {
+                format!("nfbf_s{sample}")
+            } else {
+                "nfbf".to_string()
+            };
+            (faults, name)
+        } else {
+            let faults = checkpoint_faults(&circuit)
+                .into_iter()
+                .map(Fault::from)
+                .collect();
+            (faults, "stuck_at".to_string())
+        };
+        let record = BenchRecord::measure_with(&circuit, &faults, &model_name, &config);
         println!(
             "{}: {} faults in {} classes, {:.2}s ({:.1} faults/sec), \
              peak {} nodes, order {}, {} thread(s)",

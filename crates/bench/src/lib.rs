@@ -10,7 +10,7 @@
 //!   order, and n-input gate decomposition.
 
 use dp_core::{sweep_report, sweep_universe, Parallelism, SweepConfig, SweepResult};
-use dp_faults::{checkpoint_faults, Fault};
+use dp_faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
 use dp_netlist::Circuit;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -24,6 +24,40 @@ pub fn some_stuck_faults(circuit: &Circuit, count: usize) -> Vec<Fault> {
         .take(count)
         .map(Fault::from)
         .collect()
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded, deterministic sample of `count` non-feedback bridging faults.
+///
+/// The global NFBF universe is the AND pairs followed by the OR pairs, each
+/// in [`enumerate_nfbfs`] order. Every global index is ranked by a
+/// splitmix64 hash of `seed ^ index` and the `count` lowest-ranked faults
+/// are returned *in global order* — the same convention the bounded-sweep
+/// fallback uses (seed derived from the global fault index), so the chosen
+/// set, and with it every downstream number, is invariant to thread count,
+/// chunk size and scheduling. `count >= universe` returns the whole
+/// universe.
+pub fn sampled_nfbf_universe(circuit: &Circuit, count: usize, seed: u64) -> Vec<Fault> {
+    let mut faults: Vec<Fault> = Vec::new();
+    for kind in [BridgeKind::And, BridgeKind::Or] {
+        faults.extend(enumerate_nfbfs(circuit, kind).into_iter().map(Fault::from));
+    }
+    if count >= faults.len() {
+        return faults;
+    }
+    let mut ranked: Vec<(u64, usize)> = (0..faults.len())
+        .map(|i| (splitmix64(seed ^ i as u64), i))
+        .collect();
+    ranked.sort_unstable();
+    let mut keep: Vec<usize> = ranked[..count].iter().map(|&(_, i)| i).collect();
+    keep.sort_unstable();
+    keep.into_iter().map(|i| faults[i].clone()).collect()
 }
 
 /// The sweep-execution knob shared by the bench targets: set
@@ -41,7 +75,7 @@ pub fn parallelism_from_env() -> Parallelism {
     }
 }
 
-/// One measured sweep, as recorded in `BENCH_PR6.json`.
+/// One measured sweep, as recorded in `BENCH_PR7.json`.
 ///
 /// Bench targets run as separate processes, so the file is merged by key
 /// (`circuit/fault_model/threads=N/order=S`) instead of rewritten:
@@ -175,11 +209,11 @@ fn record_telemetry_report(circuit: &Circuit, fault_model: &str, sweep: &SweepRe
 }
 
 /// Where the bench results land: `DP_BENCH_JSON` when set, else
-/// `BENCH_PR6.json` at the workspace root.
+/// `BENCH_PR7.json` at the workspace root.
 fn bench_json_path() -> PathBuf {
     match std::env::var_os("DP_BENCH_JSON") {
         Some(p) => PathBuf::from(p),
-        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR6.json"),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json"),
     }
 }
 

@@ -1,0 +1,80 @@
+//! Smoke coverage for the seeded NFBF sampler and its bench records.
+//!
+//! The sampler must be a pure function of `(circuit, count, seed)` — the
+//! same sample regardless of thread count or call order — and the record
+//! a sampled sweep produces must be well-formed and keyed by sample size.
+
+use dp_bench::{sampled_nfbf_universe, BenchRecord};
+use dp_core::{sweep_universe, EngineConfig, OrderStrategy, Parallelism, SweepConfig};
+use dp_netlist::generators::{c432_surrogate, c95};
+
+#[test]
+fn sampled_universe_is_deterministic_and_ordered() {
+    let circuit = c432_surrogate();
+    let a = sampled_nfbf_universe(&circuit, 16, 1990);
+    let b = sampled_nfbf_universe(&circuit, 16, 1990);
+    assert_eq!(a, b, "same seed, same sample");
+    assert_eq!(a.len(), 16);
+    // A different seed draws a different subset of the same universe.
+    let c = sampled_nfbf_universe(&circuit, 16, 7);
+    assert_ne!(a, c, "seed is dead");
+    // The sample preserves global enumeration order: it must be a
+    // subsequence of the full universe.
+    let full = sampled_nfbf_universe(&circuit, usize::MAX, 1990);
+    let mut cursor = full.iter();
+    for f in &a {
+        assert!(
+            cursor.any(|g| g == f),
+            "sampled faults are out of global order"
+        );
+    }
+    // Oversampling returns the whole universe, seed-independent.
+    assert_eq!(full, sampled_nfbf_universe(&circuit, usize::MAX, 7));
+}
+
+#[test]
+fn sampled_c432s_nfbf_record_is_pinned() {
+    let circuit = c432_surrogate();
+    let faults = sampled_nfbf_universe(&circuit, 16, 1990);
+    let config = SweepConfig {
+        engine: EngineConfig {
+            order: OrderStrategy::Auto,
+            ..Default::default()
+        },
+        parallelism: Parallelism::Threads(2),
+        ..Default::default()
+    };
+    let record = BenchRecord::measure_with(&circuit, &faults, "nfbf_s16", &config);
+    assert_eq!(record.circuit, "c432s");
+    assert_eq!(record.fault_model, "nfbf_s16");
+    assert_eq!(record.faults, 16);
+    assert!(record.classes >= 1 && record.classes <= 16);
+    assert_eq!(record.threads, 2);
+    assert_eq!(record.order, "auto");
+    assert!(record.unique_lookups > 0);
+    assert!(record.peak_nodes > 1);
+    assert!(record.seconds > 0.0);
+}
+
+#[test]
+fn sampled_sweep_results_are_thread_invariant() {
+    // Thread invariance of the *results* over a sampled universe: the
+    // sampler runs before scheduling, so serial and sharded sweeps see the
+    // same faults and must produce bit-identical summaries.
+    let circuit = c95();
+    let faults = sampled_nfbf_universe(&circuit, 24, 1990);
+    let serial = sweep_universe(&circuit, &faults, &SweepConfig::default());
+    let sharded = sweep_universe(
+        &circuit,
+        &faults,
+        &SweepConfig {
+            parallelism: Parallelism::Threads(3),
+            ..Default::default()
+        },
+    );
+    assert_eq!(serial.summaries.len(), 24);
+    for (s, t) in serial.summaries.iter().zip(&sharded.summaries) {
+        assert_eq!(s, t);
+        assert_eq!(s.detectability.to_bits(), t.detectability.to_bits());
+    }
+}

@@ -10,7 +10,7 @@ use dp_telemetry::{CounterKind, SharedCollector, SpanKind};
 
 use crate::delta::{delta_output, naive_delta_output};
 use crate::error::AnalysisError;
-use crate::good::GoodFunctions;
+use crate::good::{GoodFunctions, GoodSnapshot};
 use crate::order::OrderStrategy;
 
 /// Tuning knobs for [`DiffProp`] — the defaults reproduce the paper's
@@ -287,6 +287,52 @@ impl<'c> DiffProp<'c> {
         Self::assemble(circuit, good, config)
     }
 
+    /// Builds the good functions once and freezes them into an immutable,
+    /// shareable [`GoodSnapshot`] — the one-time setup of shared-manager
+    /// parallelism. Honours [`EngineConfig::budget`] during the build.
+    ///
+    /// The base variable order is fixed at freeze time by
+    /// [`OrderStrategy::resolve`]; for [`OrderStrategy::Auto`] a single
+    /// static sift runs here (over the floor size) instead of dynamically in
+    /// the workers, because a frozen base cannot reorder. The table is
+    /// collected before freezing so the base carries only the live good
+    /// functions, not build intermediates.
+    pub fn build_snapshot(
+        circuit: &Circuit,
+        config: EngineConfig,
+    ) -> Result<GoodSnapshot, AnalysisError> {
+        let mut good = GoodFunctions::try_build_with_order(
+            circuit,
+            &config.order.resolve(circuit),
+            config.budget,
+        )
+        .map_err(AnalysisError::BudgetExceeded)?;
+        if config.order.autosifts() && good.num_nodes() > SIFT_TABLE_FLOOR {
+            good.sift();
+        } else {
+            good.gc();
+        }
+        Ok(good.freeze())
+    }
+
+    /// Creates an analyser over a thawed copy of a frozen snapshot: the good
+    /// functions resolve against the shared base, and everything this engine
+    /// allocates lands in a private delta manager. Infallible — the
+    /// expensive, fallible work happened in [`DiffProp::build_snapshot`].
+    ///
+    /// Every analysis result is bit-identical to an engine that built its
+    /// own manager with the same order (OBDD canonicity: the scalars depend
+    /// only on the functions, not on who owns the node table).
+    pub fn from_snapshot(
+        circuit: &'c Circuit,
+        snapshot: &GoodSnapshot,
+        config: EngineConfig,
+    ) -> Self {
+        let mut good = snapshot.thaw();
+        good.manager_mut().set_budget(config.budget);
+        Self::assemble(circuit, good, config)
+    }
+
     /// Collects garbage if either trigger fires: the absolute
     /// [`EngineConfig::gc_threshold`], or the adaptive
     /// [`EngineConfig::gc_growth`] multiple of the post-collection baseline.
@@ -313,6 +359,11 @@ impl<'c> DiffProp<'c> {
     /// every downstream scalar is bit-identical — only cost changes.
     fn maybe_sift(&mut self) {
         let live = self.gc_baseline;
+        // A delta manager extends a frozen base whose order is fixed; Auto's
+        // static half already sifted once before the freeze.
+        if self.good.manager().has_frozen_base() {
+            return;
+        }
         if !self.config.order.autosifts()
             || live <= SIFT_TABLE_FLOOR
             || (live as f64) <= self.sift_baseline as f64 * SIFT_GROWTH
@@ -529,6 +580,115 @@ impl<'c> DiffProp<'c> {
         })
     }
 
+    /// Analyses a **batch of cone-disjoint single stuck-at faults** in one
+    /// propagation pass, returning one independent [`FaultAnalysis`] per
+    /// fault, in input order.
+    ///
+    /// Unlike [`DiffProp::try_analyze_multi_stuck_at`] — which models all
+    /// components present *simultaneously* — this treats each fault as a
+    /// separate single-fault analysis and merely shares the propagation
+    /// sweep. That is sound exactly when the faults' fanout cones are
+    /// pairwise disjoint: difference fronts then live in disjoint regions,
+    /// no gate ever sees two fronts, so the combined difference at every net
+    /// equals the single-fault difference of the unique fault whose cone
+    /// contains it. Per-fault results are recovered by masking each primary
+    /// output against the fault's own cone ([`Reachability::reaches`]) and
+    /// are **bit-identical** to analysing each fault alone (OBDD canonicity:
+    /// identical functions give identical scalars).
+    ///
+    /// `gates_propagated` reports the shared sweep's combined count on every
+    /// member (the per-fault split is not observable from a shared pass).
+    ///
+    /// On [`AnalysisError::BudgetExceeded`] the engine has recovered and the
+    /// caller should retry the faults individually — a batch can trip a
+    /// window its members would individually fit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `faults` is empty or repeats a site; debug builds also
+    /// verify the cone-disjointness precondition.
+    pub fn try_analyze_stuck_at_batch(
+        &mut self,
+        faults: &[StuckAtFault],
+    ) -> Result<Vec<FaultAnalysis>, AnalysisError> {
+        assert!(!faults.is_empty(), "a batch needs at least one fault");
+        if faults.len() == 1 {
+            return Ok(vec![self.try_analyze(&Fault::StuckAt(faults[0]))?]);
+        }
+        for (i, a) in faults.iter().enumerate() {
+            for b in &faults[i + 1..] {
+                assert_ne!(a.site, b.site, "duplicate fault site {a}");
+            }
+        }
+        self.maybe_gc();
+        self.good.manager_mut().reset_budget_window();
+        let mut init = SiteInit::default();
+        for f in faults {
+            self.init_stuck_at(f, &mut init);
+        }
+        // One flow net per component, pushed by `init_stuck_at` in input
+        // order: the stuck net itself, or a branch fault's sink gate.
+        let flow_nets = init.flow_nets.clone();
+        debug_assert_eq!(flow_nets.len(), faults.len());
+        #[cfg(debug_assertions)]
+        for (i, &a) in flow_nets.iter().enumerate() {
+            for &b in &flow_nets[i + 1..] {
+                debug_assert!(
+                    self.reach
+                        .cones_disjoint(NetId::from_index(a), NetId::from_index(b)),
+                    "batched faults must have disjoint fanout cones"
+                );
+            }
+        }
+        let p = self.propagate(init);
+        if let Some(err) = self.check_budget() {
+            return Err(err);
+        }
+        let outputs = self.circuit.outputs().to_vec();
+        let mut analyses = Vec::with_capacity(faults.len());
+        for (f, &flow) in faults.iter().zip(&flow_nets) {
+            let flow_net = NetId::from_index(flow);
+            // An output outside this fault's cone carries another fault's
+            // difference (or ⊥) — never this fault's, so mask it out.
+            let po_deltas: Vec<NodeId> = outputs
+                .iter()
+                .zip(&p.po_deltas)
+                .map(|(&o, &d)| {
+                    if self.reach.reaches(flow_net, o) {
+                        d
+                    } else {
+                        NodeId::FALSE
+                    }
+                })
+                .collect();
+            let m = self.good.manager_mut();
+            let mut test_set = NodeId::FALSE;
+            for &d in &po_deltas {
+                if !d.is_false() {
+                    test_set = m.or(test_set, d);
+                }
+            }
+            let detectability = m.density(test_set);
+            let test_count = (m.num_vars() <= 127).then(|| m.sat_count(test_set));
+            let observable_outputs = po_deltas.iter().map(|d| !d.is_false()).collect();
+            analyses.push(FaultAnalysis {
+                fault: Fault::StuckAt(*f),
+                po_deltas,
+                test_set,
+                detectability,
+                test_count,
+                observable_outputs,
+                site_function_constant: true,
+                gates_propagated: p.gates_propagated,
+            });
+        }
+        // The per-fault or-folds and counts above also run under the budget.
+        if let Some(err) = self.check_budget() {
+            return Err(err);
+        }
+        Ok(analyses)
+    }
+
     /// Adds one stuck-at component's pinned difference to a site
     /// initialisation.
     fn init_stuck_at(&mut self, f: &StuckAtFault, init: &mut SiteInit) {
@@ -742,7 +902,7 @@ impl<'c> DiffProp<'c> {
 mod tests {
     use super::*;
     use dp_faults::{checkpoint_faults, enumerate_nfbfs, BridgingFault, StuckAtFault};
-    use dp_netlist::generators::{c17, c95, full_adder};
+    use dp_netlist::generators::{alu74181, c17, c95, full_adder};
     use dp_sim::exhaustive_detectability;
 
     /// DP's exact counts must equal brute-force simulation for every
@@ -1181,6 +1341,144 @@ mod tests {
         assert!(analysis.observable_outputs[0], "PI observable at its PO");
         // Detectable whenever x = 1 (half the vectors at least).
         assert!(analysis.detectability >= 0.5);
+    }
+
+    /// Greedily selects checkpoint faults with pairwise-disjoint fanout
+    /// cones (white-box: uses the engine's own reachability relation).
+    fn disjoint_stuck_at_batch(dp: &DiffProp<'_>, faults: &[StuckAtFault]) -> Vec<StuckAtFault> {
+        let mut picked: Vec<StuckAtFault> = Vec::new();
+        let flow = |f: &StuckAtFault| match f.site {
+            dp_faults::FaultSite::Net(n) => n,
+            dp_faults::FaultSite::Branch(b) => b.sink,
+        };
+        for f in faults {
+            if picked
+                .iter()
+                .all(|p| dp.reach.cones_disjoint(flow(p), flow(f)))
+            {
+                picked.push(*f);
+            }
+        }
+        picked
+    }
+
+    #[test]
+    fn batched_analysis_is_bit_identical_to_singles() {
+        let c = alu74181();
+        let mut dp = DiffProp::new(&c);
+        let mut reference = DiffProp::new(&c);
+        let batch = disjoint_stuck_at_batch(&dp, &checkpoint_faults(&c));
+        assert!(batch.len() > 1, "alu74181 has cone-disjoint checkpoints");
+        let analyses = dp.try_analyze_stuck_at_batch(&batch).unwrap();
+        assert_eq!(analyses.len(), batch.len());
+        for (f, a) in batch.iter().zip(&analyses) {
+            let single = reference.analyze(&Fault::StuckAt(*f));
+            assert_eq!(a.test_count, single.test_count, "{f}");
+            assert_eq!(
+                a.detectability.to_bits(),
+                single.detectability.to_bits(),
+                "{f}"
+            );
+            assert_eq!(a.observable_outputs, single.observable_outputs, "{f}");
+            assert!(a.site_function_constant);
+            // The masked per-output deltas carry the same functions.
+            for (&d, &e) in a.po_deltas.iter().zip(&single.po_deltas) {
+                assert_eq!(
+                    dp.good.manager().density(d).to_bits(),
+                    reference.good.manager().density(e).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_analysis_matches_singles_on_disjoint_halves() {
+        // Two structurally independent cones in one circuit: the strongest
+        // exercise of per-output masking (each fault is observable at its
+        // own half's output only).
+        use dp_netlist::{CircuitBuilder, GateKind};
+        let mut b = CircuitBuilder::new("halves");
+        let x = b.input("x");
+        let y = b.input("y");
+        let u = b.input("u");
+        let v = b.input("v");
+        let g1 = b.gate("g1", GateKind::And, &[x, y]).unwrap();
+        let g2 = b.gate("g2", GateKind::Or, &[u, v]).unwrap();
+        b.output(g1);
+        b.output(g2);
+        let c = b.finish().unwrap();
+        let f1 = StuckAtFault {
+            site: dp_faults::FaultSite::Net(x),
+            value: true,
+        };
+        let f2 = StuckAtFault {
+            site: dp_faults::FaultSite::Net(u),
+            value: false,
+        };
+        let mut dp = DiffProp::new(&c);
+        let analyses = dp.try_analyze_stuck_at_batch(&[f1, f2]).unwrap();
+        // x s-a-1 is observable only at g1; u s-a-0 only at g2.
+        assert_eq!(analyses[0].observable_outputs, vec![true, false]);
+        assert_eq!(analyses[1].observable_outputs, vec![false, true]);
+        let mut reference = DiffProp::new(&c);
+        for (f, a) in [f1, f2].iter().zip(&analyses) {
+            let single = reference.analyze(&Fault::StuckAt(*f));
+            assert_eq!(a.test_count, single.test_count, "{f}");
+            let (det, total) = exhaustive_detectability(&c, &Fault::StuckAt(*f));
+            assert_eq!(a.test_count, Some(det as u128));
+            assert!((a.detectability - det as f64 / total as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_from_snapshot_agrees_with_private_manager() {
+        let c = alu74181();
+        let snapshot = DiffProp::build_snapshot(&c, EngineConfig::default()).unwrap();
+        let digest = snapshot.table_digest();
+        let nodes = snapshot.num_nodes();
+        let mut dp = DiffProp::from_snapshot(&c, &snapshot, EngineConfig::default());
+        assert!(dp.good.manager().has_frozen_base());
+        let batch = disjoint_stuck_at_batch(&dp, &checkpoint_faults(&c));
+        let analyses = dp.try_analyze_stuck_at_batch(&batch).unwrap();
+        let mut reference = DiffProp::new(&c);
+        for (f, a) in batch.iter().zip(&analyses) {
+            let single = reference.analyze(&Fault::StuckAt(*f));
+            assert_eq!(a.test_count, single.test_count, "{f}");
+            assert_eq!(a.detectability.to_bits(), single.detectability.to_bits());
+        }
+        // The shared base never moved.
+        assert_eq!(snapshot.table_digest(), digest);
+        assert_eq!(snapshot.num_nodes(), nodes);
+        // Two-level lookups are attributed: the delta resolved good
+        // functions from the base.
+        assert!(dp.good.manager().stats().base_hits > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fault site")]
+    fn batch_rejects_duplicate_sites() {
+        let c = c17();
+        let f = checkpoint_faults(&c)[0];
+        let other = StuckAtFault {
+            site: f.site,
+            value: !f.value,
+        };
+        let mut dp = DiffProp::new(&c);
+        let _ = dp.try_analyze_stuck_at_batch(&[f, other]);
+    }
+
+    #[test]
+    fn singleton_batch_delegates_to_single_analysis() {
+        let c = c17();
+        let mut dp = DiffProp::new(&c);
+        let f = checkpoint_faults(&c)[0];
+        let batch = dp.try_analyze_stuck_at_batch(&[f]).unwrap();
+        let single = DiffProp::new(&c).analyze(&Fault::StuckAt(f));
+        assert_eq!(batch[0].test_count, single.test_count);
+        assert_eq!(
+            batch[0].detectability.to_bits(),
+            single.detectability.to_bits()
+        );
     }
 
     // -----------------------------------------------------------------

@@ -1,6 +1,6 @@
 //! Good (fault-free) net functions as OBDDs, plus syndromes.
 
-use dp_bdd::{BddError, BudgetConfig, Manager, NodeId, Var};
+use dp_bdd::{BddError, BudgetConfig, FrozenManager, Manager, ManagerStats, NodeId, Var};
 use dp_netlist::{Circuit, Driver, GateKind, NetId};
 
 /// The fault-free Boolean function of every net of a circuit, built once and
@@ -175,6 +175,74 @@ impl GoodFunctions {
         let after = self.manager.sift(&roots);
         self.gc();
         (before, after)
+    }
+
+    /// Consumes the good functions and freezes them into an immutable,
+    /// shareable [`GoodSnapshot`]. The manager's node table and variable
+    /// order are fixed from here on; every [`GoodSnapshot::thaw`] yields a
+    /// private delta manager layered on the shared base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager already extends a frozen base or has a pending
+    /// budget trip (see [`Manager::freeze`]).
+    pub fn freeze(self) -> GoodSnapshot {
+        GoodSnapshot {
+            frozen: self.manager.freeze(),
+            funcs: self.funcs,
+            cut_nets: self.cut_nets,
+        }
+    }
+}
+
+/// An immutable, `Send + Sync` snapshot of built [`GoodFunctions`]:
+/// the frozen BDD base plus the per-net function handles.
+///
+/// Cloning is an `Arc` bump on the node table (the handle vectors are
+/// copied). Hand clones to worker threads and [`GoodSnapshot::thaw`] on each
+/// to get private delta managers that resolve every good-function node
+/// against the shared base with zero synchronisation — the base is never
+/// mutated again, which [`GoodSnapshot::table_digest`] lets tests verify.
+#[derive(Debug, Clone)]
+pub struct GoodSnapshot {
+    frozen: FrozenManager,
+    funcs: Vec<NodeId>,
+    cut_nets: Vec<NetId>,
+}
+
+impl GoodSnapshot {
+    /// Reconstructs working [`GoodFunctions`] over a fresh delta manager.
+    /// Every `NodeId` in the snapshot stays valid in the thawed copy (delta
+    /// managers extend the frozen id space).
+    pub fn thaw(&self) -> GoodFunctions {
+        GoodFunctions::from_parts(
+            self.frozen.thaw(),
+            self.funcs.clone(),
+            self.cut_nets.clone(),
+        )
+    }
+
+    /// The frozen manager shared by all thawed copies.
+    pub fn frozen(&self) -> &FrozenManager {
+        &self.frozen
+    }
+
+    /// Nodes frozen into the shared base (terminal included).
+    pub fn num_nodes(&self) -> usize {
+        self.frozen.num_nodes()
+    }
+
+    /// FNV-1a digest of the frozen node table — a white-box immutability
+    /// probe (see [`FrozenManager::table_digest`]).
+    pub fn table_digest(&self) -> u64 {
+        self.frozen.table_digest()
+    }
+
+    /// The building manager's counters at freeze time: the one-off cost of
+    /// constructing the shared base, which sweep accounting folds in exactly
+    /// once instead of once per worker.
+    pub fn build_stats(&self) -> &ManagerStats {
+        self.frozen.build_stats()
     }
 }
 

@@ -77,13 +77,13 @@ pub use dictionary::{Candidate, FaultDictionary, Signature};
 pub use dp_bdd::BudgetConfig;
 pub use engine::{DiffProp, EngineConfig, FaultAnalysis, MultiFaultAnalysis};
 pub use error::AnalysisError;
-pub use good::GoodFunctions;
+pub use good::{GoodFunctions, GoodSnapshot};
 pub use observability::Observability;
 pub use order::OrderStrategy;
 pub use dp_telemetry::TelemetryLevel;
 pub use parallel::{
-    analyze_universe, analyze_universe_with, sweep_universe, FallbackConfig, FaultOutcome,
-    FaultSummary, Parallelism, ShardReport, SweepConfig, SweepResult,
+    analyze_universe, analyze_universe_with, plan_batches, sweep_universe, FallbackConfig,
+    FaultOutcome, FaultSummary, ManagerMode, Parallelism, ShardReport, SweepConfig, SweepResult,
 };
 pub use redundancy::{find_redundancies, RedundancyReport};
 pub use report::{summaries_digest, sweep_report};

@@ -12,10 +12,24 @@
 //!   the member's own site syndrome). [`SweepConfig::collapse`] turns this
 //!   off for ablations.
 //! * **Work stealing**: instead of static contiguous shards, workers claim
-//!   fixed-size chunks of the class list from a shared atomic counter, so a
+//!   fixed-size chunks of the work queue from a shared atomic counter, so a
 //!   worker that drew cheap faults steals the next chunk instead of idling.
-//!   Each worker still owns a **private** BDD [`Manager`](dp_bdd::Manager) +
-//!   [`GoodFunctions`] built once per worker.
+//!
+//! On top of those, two shared-manager levers (both also output-invariant):
+//!
+//! * **Frozen good-function snapshots** ([`ManagerMode::SharedSnapshot`],
+//!   the default): the good functions are built **once**, frozen into an
+//!   immutable [`GoodSnapshot`](crate::GoodSnapshot), and every worker thaws
+//!   a lightweight delta manager over the shared base — the per-worker
+//!   build cost disappears, and the one-off build is accounted exactly once
+//!   in the sweep totals. [`ManagerMode::Private`] restores the
+//!   build-per-worker behaviour for ablations.
+//! * **Cone-disjoint fault batches** ([`SweepConfig::batch`]): stuck-at
+//!   classes whose representative fanout cones are pairwise disjoint are
+//!   greedily packed ([`plan_batches`]) into one fused propagation pass per
+//!   batch ([`DiffProp::try_analyze_stuck_at_batch`]); the queue hands out
+//!   chunks of batches. Bridging classes and faults whose sites fall outside
+//!   the circuit stay singleton batches, so panic isolation is untouched.
 //!
 //! # Determinism
 //!
@@ -89,14 +103,17 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use dp_bdd::ManagerStats;
-use dp_faults::{collapse_faults, CollapseStats, CollapsedUniverse, Fault, FaultClass};
-use dp_netlist::Circuit;
+use dp_faults::{
+    collapse_faults, CollapseStats, CollapsedUniverse, Fault, FaultClass, FaultSite, StuckAtFault,
+};
+use dp_netlist::{Circuit, NetId, Reachability};
 use dp_sim::sampled_fault_estimate;
 use dp_telemetry::{
     Collector, CounterKind, HistKind, SharedCollector, SpanKind, TelemetryLevel, TelemetrySnapshot,
 };
 
 use crate::engine::{DiffProp, EngineConfig};
+use crate::good::GoodSnapshot;
 
 /// How a fault-universe sweep is executed.
 ///
@@ -122,6 +139,25 @@ impl Parallelism {
     }
 }
 
+/// Where a sweep worker's good functions come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ManagerMode {
+    /// Every worker builds its own BDD manager and good functions from
+    /// scratch — no sharing. The historical behaviour, kept for ablation:
+    /// results are bit-identical, only the build cost multiplies.
+    Private,
+    /// Build the good functions once, freeze them into an immutable
+    /// [`GoodSnapshot`](crate::GoodSnapshot), and hand every worker a thawed
+    /// delta manager over the shared base (copy-on-write lookup, private op
+    /// cache and stats). The default: per-worker build cost disappears and
+    /// the one-off build is accounted exactly once in the sweep totals.
+    #[default]
+    SharedSnapshot,
+}
+
+/// Default cap on stuck-at classes fused into one cone-disjoint batch.
+const DEFAULT_BATCH: usize = 8;
+
 /// Full configuration of a fault-universe sweep — see [`sweep_universe`].
 #[derive(Debug, Clone, Copy)]
 pub struct SweepConfig {
@@ -135,9 +171,17 @@ pub struct SweepConfig {
     /// equivalence class (default). `false` restores one propagation per
     /// fault — useful for ablation, never for results (they are identical).
     pub collapse: bool,
-    /// Work-queue chunk size in *classes*. `None` picks a size that gives
+    /// Work-queue chunk size in *batches*. `None` picks a size that gives
     /// each worker several claims without drowning the queue in contention.
     pub chunk: Option<usize>,
+    /// How workers obtain their good functions (shared frozen snapshot by
+    /// default; private build-per-worker for ablation). Output-invariant.
+    pub manager: ManagerMode,
+    /// Maximum stuck-at classes fused into one cone-disjoint propagation
+    /// batch (see [`plan_batches`]); `1` disables batching. Output-invariant
+    /// at every value — batches are planned before workers spawn, so the
+    /// packing never depends on thread count or claim order.
+    pub batch: usize,
     /// How much the sweep records about itself. Observation-only by
     /// contract — the level never changes a summary (pinned by the
     /// telemetry-invariance tests). The default, `Aggregate`, times
@@ -154,6 +198,8 @@ impl Default for SweepConfig {
             fallback: FallbackConfig::default(),
             collapse: true,
             chunk: None,
+            manager: ManagerMode::default(),
+            batch: DEFAULT_BATCH,
             telemetry: TelemetryLevel::default(),
         }
     }
@@ -416,23 +462,48 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
     };
     let collapse_stats = collapsed.stats();
     let classes = collapsed.classes.as_slice();
-    // Never more workers than classes: an extra worker would build good
-    // functions only to find the queue drained.
-    let workers = config.parallelism.workers().min(classes.len()).max(1);
+    // Plan the work queue before any worker exists: batches depend only on
+    // the circuit, the fault list and `config.batch`, never on scheduling.
+    let batches: Vec<Vec<usize>> = if config.batch > 1 && !classes.is_empty() {
+        let reach = Reachability::compute(circuit);
+        plan_batches(faults, classes, &reach, config.batch)
+    } else {
+        (0..classes.len()).map(|c| vec![c]).collect()
+    };
+    // Shared-manager mode: build and freeze the good functions once, on the
+    // sweeping thread. A budget too small for the build leaves `None` and
+    // every class degrades to a sampled estimate — exactly as when each
+    // worker fails its own private build.
+    let snapshot: Option<GoodSnapshot> = match config.manager {
+        ManagerMode::Private => None,
+        ManagerMode::SharedSnapshot if classes.is_empty() => None,
+        ManagerMode::SharedSnapshot => DiffProp::build_snapshot(circuit, config.engine).ok(),
+    };
+    let snapshot = snapshot.as_ref();
+    // Never more workers than queue entries: an extra worker would thaw or
+    // build good functions only to find the queue drained.
+    let workers = config.parallelism.workers().min(batches.len()).max(1);
     let chunk = config
         .chunk
-        .unwrap_or_else(|| classes.len().div_ceil(workers * 8).clamp(1, 32))
+        .unwrap_or_else(|| batches.len().div_ceil(workers * 8).clamp(1, 32))
         .max(1);
     let next = AtomicUsize::new(0);
+    let batches = batches.as_slice();
 
     let parts: Vec<(Vec<(usize, FaultSummary)>, ShardReport)> = if workers <= 1 {
-        vec![run_worker(circuit, faults, classes, &next, chunk, 0, config)]
+        vec![run_worker(
+            circuit, faults, classes, batches, snapshot, &next, chunk, 0, config,
+        )]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let next = &next;
-                    scope.spawn(move || run_worker(circuit, faults, classes, next, chunk, w, config))
+                    scope.spawn(move || {
+                        run_worker(
+                            circuit, faults, classes, batches, snapshot, next, chunk, w, config,
+                        )
+                    })
                 })
                 .collect();
             handles
@@ -472,6 +543,16 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
     }
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert!(indexed.windows(2).all(|w| w[0].0 < w[1].0));
+    // The one-off snapshot build cost is real work this sweep performed:
+    // fold it into the first shard's manager stats (so `merged_stats` and
+    // the per-shard sum both see it exactly once) and into the sweep-level
+    // counters (so `sweep_report.json` totals include it).
+    if let Some(snap) = snapshot {
+        if let Some(first) = reports.first_mut() {
+            first.stats = first.stats.merged(snap.build_stats());
+        }
+        harvest_manager_stats(&mut sweep_col, snap.build_stats());
+    }
     sweep_col.finish(SpanKind::Sweep, sweep_timer);
     let totals = reports
         .iter()
@@ -490,15 +571,116 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
     }
 }
 
-/// One worker: claim chunks of classes from the shared queue until drained.
+/// Plans the sweep's work queue: greedy first-fit packing of classes into
+/// **cone-disjoint batches**, in collapse order.
+///
+/// Each batch lists indices into `classes` (ascending). A class joins the
+/// first open batch whose accumulated cone mask its representative's fanout
+/// cone does not intersect, subject to `max` classes per batch; otherwise it
+/// opens a new batch. Batches of size > 1 are analysed in one fused
+/// propagation pass ([`DiffProp::try_analyze_stuck_at_batch`]), which is
+/// sound precisely because their difference fronts can never meet.
+///
+/// Kept singleton — never packed with anything:
+///
+/// * bridging classes (two sites, no single flow cone; they never collapse
+///   either),
+/// * stuck-at classes whose site net lies outside the circuit (a foreign
+///   fault will panic the engine; keeping it alone preserves the sweep's
+///   per-class panic isolation).
+///
+/// Deterministic by construction: the packing depends only on the circuit's
+/// reachability relation, the class list, and `max` — never on thread
+/// count, chunk size, or claim order.
+pub fn plan_batches(
+    faults: &[Fault],
+    classes: &[FaultClass],
+    reach: &Reachability,
+    max: usize,
+) -> Vec<Vec<usize>> {
+    let max = max.max(1);
+    let words = reach.num_words();
+    let mut batches: Vec<Vec<usize>> = Vec::new();
+    // Open batches still accepting members: (batch index, accumulated mask).
+    let mut open: Vec<(usize, Vec<u64>)> = Vec::new();
+    for (c, class) in classes.iter().enumerate() {
+        let flow = class_flow_net(faults, class, reach);
+        let Some(flow) = flow else {
+            batches.push(vec![c]); // closed singleton: never packed
+            continue;
+        };
+        if max == 1 {
+            batches.push(vec![c]);
+            continue;
+        }
+        let slot = open
+            .iter()
+            .position(|(b, mask)| batches[*b].len() < max && !reach.cone_intersects(flow, mask));
+        match slot {
+            Some(s) => {
+                let (b, mask) = &mut open[s];
+                batches[*b].push(c);
+                reach.cone_union_into(flow, mask);
+                if batches[*b].len() >= max {
+                    open.swap_remove(s);
+                }
+            }
+            None => {
+                let mut mask = vec![0u64; words];
+                reach.cone_union_into(flow, &mut mask);
+                open.push((batches.len(), mask));
+                batches.push(vec![c]);
+            }
+        }
+    }
+    batches
+}
+
+/// The single net every effect of a class's representative flows through —
+/// the stuck net, or a branch fault's sink gate — when the class is
+/// batchable; `None` keeps it singleton (bridges, foreign sites).
+fn class_flow_net(faults: &[Fault], class: &FaultClass, reach: &Reachability) -> Option<NetId> {
+    match faults[class.representative] {
+        Fault::StuckAt(f) => {
+            let net = match f.site {
+                FaultSite::Net(n) => n,
+                FaultSite::Branch(b) => b.sink,
+            };
+            (net.index() < reach.num_nets()).then_some(net)
+        }
+        Fault::Bridging(_) => None,
+    }
+}
+
+/// Builds (or rebuilds) one worker's engine according to the manager mode:
+/// a thaw of the shared snapshot, or a private from-scratch build. `None`
+/// when the budget cannot even fit the good functions — the worker then
+/// estimates every class by simulation.
+fn build_worker_engine<'c>(
+    circuit: &'c Circuit,
+    snapshot: Option<&GoodSnapshot>,
+    config: &SweepConfig,
+) -> Option<DiffProp<'c>> {
+    match config.manager {
+        ManagerMode::Private => DiffProp::try_with_config(circuit, config.engine).ok(),
+        ManagerMode::SharedSnapshot => {
+            snapshot.map(|s| DiffProp::from_snapshot(circuit, s, config.engine))
+        }
+    }
+}
+
+/// One worker: claim chunks of batches from the shared queue until drained.
 ///
 /// The engine is built lazily on the first claim (a worker that never gets
 /// a turn costs nothing) and rebuilt after a class panic (the manager may
 /// be mid-operation when the unwind happens).
-fn run_worker(
-    circuit: &Circuit,
+#[allow(clippy::too_many_arguments)]
+fn run_worker<'c>(
+    circuit: &'c Circuit,
     faults: &[Fault],
     classes: &[FaultClass],
+    batches: &[Vec<usize>],
+    snapshot: Option<&GoodSnapshot>,
     next: &AtomicUsize,
     chunk: usize,
     worker: usize,
@@ -518,71 +700,40 @@ fn run_worker(
     // One collector per worker, shared with the worker's engine; no other
     // thread ever sees it, so the RefCell is uncontended by construction.
     let collector = Collector::shared(config.telemetry);
-    let mut dp: Option<DiffProp> = None;
+    let mut dp: Option<DiffProp<'c>> = None;
     let mut built = false;
     loop {
         let lo = next.fetch_add(1, Ordering::Relaxed) * chunk;
-        if lo >= classes.len() {
+        if lo >= batches.len() {
             break;
         }
-        let hi = (lo + chunk).min(classes.len());
+        let hi = (lo + chunk).min(batches.len());
         report.chunks_claimed += 1;
         let chunk_timer = collector.borrow().start();
         let t0 = Instant::now();
         if !built {
-            // A budget too small for the good functions leaves `dp` as
-            // `None`: every class this worker claims is then estimated by
-            // simulation.
-            dp = DiffProp::try_with_config(circuit, config.engine).ok();
+            dp = build_worker_engine(circuit, snapshot, config);
             if let Some(dp) = dp.as_mut() {
                 dp.attach_collector(collector.clone());
             }
             built = true;
         }
-        for class in &classes[lo..hi] {
-            report.classes_done += 1;
-            let class_timer = collector.borrow().start();
-            let mark = out.len();
-            let caught = catch_unwind(AssertUnwindSafe(|| {
-                summarize_class(
-                    circuit,
-                    &mut dp,
-                    faults,
-                    class,
-                    config.fallback,
-                    &collector,
-                    &mut out,
-                )
-            }));
-            match caught {
-                Ok(()) => {
-                    report.faults_done += class.members.len();
-                    collector
-                        .borrow_mut()
-                        .add(CounterKind::FaultsSummarized, class.members.len() as u64);
-                }
-                Err(payload) => {
-                    // Drop any partial member summaries of the poisoned
-                    // class and rebuild the engine — the unwind may have
-                    // left the manager mid-operation. (Any RefCell borrow
-                    // the collector held was released during the unwind.)
-                    out.truncate(mark);
-                    if report.panic.is_none() {
-                        report.panic = Some(panic_message(payload.as_ref()));
-                    }
-                    dp = catch_unwind(AssertUnwindSafe(|| {
-                        DiffProp::try_with_config(circuit, config.engine).ok()
-                    }))
-                    .unwrap_or(None);
-                    if let Some(dp) = dp.as_mut() {
-                        dp.attach_collector(collector.clone());
-                    }
+        for batch in &batches[lo..hi] {
+            collector
+                .borrow_mut()
+                .record_hist(HistKind::BatchSize, batch.len() as u64);
+            let fused = batch.len() > 1
+                && try_fused_batch(&mut dp, faults, classes, batch, &collector, &mut out, &mut report);
+            if !fused {
+                // Per-class path: singleton batches, a missing engine, a
+                // budget trip, or a (defensively handled) batch panic.
+                for &c in batch {
+                    process_class(
+                        circuit, &mut dp, snapshot, faults, &classes[c], config, &collector,
+                        &mut out, &mut report,
+                    );
                 }
             }
-            let mut c = collector.borrow_mut();
-            c.finish(SpanKind::Class, class_timer);
-            c.record_hist(HistKind::ClassSize, class.members.len() as u64);
-            c.add(CounterKind::ClassesAnalyzed, 1);
         }
         report.busy += t0.elapsed();
         collector.borrow_mut().finish(SpanKind::Chunk, chunk_timer);
@@ -593,18 +744,150 @@ fn run_worker(
             .borrow_mut()
             .raise(CounterKind::LiveNodes, dp.good().num_nodes() as u64);
     }
-    harvest_manager_stats(&mut collector.borrow_mut(), &report);
+    {
+        let mut c = collector.borrow_mut();
+        harvest_manager_stats(&mut c, &report.stats);
+        c.add(CounterKind::ChunksClaimed, report.chunks_claimed as u64);
+    }
     report.telemetry = collector.borrow().snapshot();
     (out, report)
 }
 
-/// Folds a worker's final [`ManagerStats`] (and queue counters) into its
-/// collector, so the snapshot carries the manager's *cumulative* view —
-/// op-cache counters included, which survive GC generations by design.
-fn harvest_manager_stats(c: &mut Collector, report: &ShardReport) {
-    let s = &report.stats;
+/// The per-class unit of worker progress: one catch-unwound
+/// [`summarize_class`] with panic isolation and engine rebuild.
+#[allow(clippy::too_many_arguments)]
+fn process_class<'c>(
+    circuit: &'c Circuit,
+    dp: &mut Option<DiffProp<'c>>,
+    snapshot: Option<&GoodSnapshot>,
+    faults: &[Fault],
+    class: &FaultClass,
+    config: &SweepConfig,
+    collector: &SharedCollector,
+    out: &mut Vec<(usize, FaultSummary)>,
+    report: &mut ShardReport,
+) {
+    report.classes_done += 1;
+    let class_timer = collector.borrow().start();
+    let mark = out.len();
+    let caught = catch_unwind(AssertUnwindSafe(|| {
+        summarize_class(circuit, dp, faults, class, config.fallback, collector, out)
+    }));
+    match caught {
+        Ok(()) => {
+            report.faults_done += class.members.len();
+            collector
+                .borrow_mut()
+                .add(CounterKind::FaultsSummarized, class.members.len() as u64);
+        }
+        Err(payload) => {
+            // Drop any partial member summaries of the poisoned class and
+            // rebuild the engine — the unwind may have left the manager
+            // mid-operation. (Any RefCell borrow the collector held was
+            // released during the unwind.)
+            out.truncate(mark);
+            if report.panic.is_none() {
+                report.panic = Some(panic_message(payload.as_ref()));
+            }
+            *dp = catch_unwind(AssertUnwindSafe(|| {
+                build_worker_engine(circuit, snapshot, config)
+            }))
+            .unwrap_or(None);
+            if let Some(dp) = dp.as_mut() {
+                dp.attach_collector(collector.clone());
+            }
+        }
+    }
+    let mut c = collector.borrow_mut();
+    c.finish(SpanKind::Class, class_timer);
+    c.record_hist(HistKind::ClassSize, class.members.len() as u64);
+    c.add(CounterKind::ClassesAnalyzed, 1);
+}
+
+/// Attempts the fused one-pass analysis of a multi-class batch. On success
+/// the batch's classes are expanded into `out` and `true` is returned; on a
+/// missing engine, a budget trip, or a panic, `out` and the counters are
+/// left untouched and the caller degrades to the per-class path (which
+/// re-runs the representatives individually, re-attributing any persistent
+/// panic to its precise class).
+fn try_fused_batch<'c>(
+    dp: &mut Option<DiffProp<'c>>,
+    faults: &[Fault],
+    classes: &[FaultClass],
+    batch: &[usize],
+    collector: &SharedCollector,
+    out: &mut Vec<(usize, FaultSummary)>,
+    report: &mut ShardReport,
+) -> bool {
+    let Some(engine) = dp.as_mut() else {
+        return false;
+    };
+    let reps: Vec<StuckAtFault> = batch
+        .iter()
+        .map(|&c| match faults[classes[c].representative] {
+            Fault::StuckAt(f) => f,
+            Fault::Bridging(_) => unreachable!("plan_batches never packs bridging classes"),
+        })
+        .collect();
+    // One fault span for the batch's shared propagation, mirroring the one
+    // span per representative propagation of the per-class path.
+    let fault_timer = collector.borrow().start();
+    let analyses = match catch_unwind(AssertUnwindSafe(|| engine.try_analyze_stuck_at_batch(&reps)))
+    {
+        Ok(Ok(analyses)) => analyses,
+        // Budget trip: the engine already recovered; retry per class (each
+        // member may individually fit the window, or degrade to sampling).
+        Ok(Err(_)) => return false,
+        // A panic mid-batch may leave the manager mid-operation: drop the
+        // engine so the per-class retry starts from a rebuilt one.
+        Err(_) => {
+            *dp = None;
+            return false;
+        }
+    };
+    collector.borrow_mut().finish(SpanKind::Fault, fault_timer);
+    let engine = dp.as_mut().expect("engine survived the fused batch");
+    for (&c, analysis) in batch.iter().zip(&analyses) {
+        let class = &classes[c];
+        let class_timer = collector.borrow().start();
+        for &m in &class.members {
+            let fault = faults[m];
+            let adherence = engine
+                .detectability_bound(&fault)
+                .and_then(|u| (u > 0.0).then(|| analysis.detectability / u));
+            out.push((
+                m,
+                FaultSummary {
+                    fault,
+                    detectability: analysis.detectability,
+                    test_count: analysis.test_count,
+                    observable_outputs: analysis.observable_outputs.clone(),
+                    site_function_constant: analysis.site_function_constant,
+                    adherence,
+                    outcome: FaultOutcome::Exact,
+                },
+            ));
+        }
+        report.classes_done += 1;
+        report.faults_done += class.members.len();
+        let mut col = collector.borrow_mut();
+        col.add(CounterKind::FaultsSummarized, class.members.len() as u64);
+        col.finish(SpanKind::Class, class_timer);
+        col.record_hist(HistKind::ClassSize, class.members.len() as u64);
+        col.add(CounterKind::ClassesAnalyzed, 1);
+    }
+    true
+}
+
+/// Folds a manager's final [`ManagerStats`] into a collector, so snapshots
+/// carry the cumulative view — op-cache counters included, which survive GC
+/// generations by design. Used for each worker's manager and, in shared
+/// mode, once for the snapshot build.
+fn harvest_manager_stats(c: &mut Collector, s: &ManagerStats) {
     c.add(CounterKind::UniqueLookups, s.unique.lookups);
     c.add(CounterKind::UniqueHits, s.unique.hits);
+    c.add(CounterKind::UniqueBaseHits, s.base_hits);
+    c.add(CounterKind::UniqueDeltaLookups, s.delta_lookups);
     let op = s.op_cumulative_total();
     c.add(CounterKind::OpCacheLookups, op.lookups);
     c.add(CounterKind::OpCacheHits, op.hits);
@@ -612,7 +895,6 @@ fn harvest_manager_stats(c: &mut Collector, report: &ShardReport) {
     c.add(CounterKind::GcRuns, s.gc_runs);
     c.raise(CounterKind::PeakNodes, s.peak_nodes as u64);
     c.add(CounterKind::BudgetTrips, s.budget_trips);
-    c.add(CounterKind::ChunksClaimed, report.chunks_claimed as u64);
 }
 
 /// Analyses one class's representative and expands the result to every
@@ -1093,5 +1375,145 @@ mod tests {
         assert!(budgeted.summaries.iter().all(|s| s.outcome.is_exact()));
         assert_eq!(budgeted.num_bounded(), 0);
         assert_bit_identical(&unbudgeted.summaries, &budgeted.summaries);
+    }
+
+    #[test]
+    fn private_and_shared_managers_are_bit_identical() {
+        let circuit = c95();
+        let mut faults = stuck_at_universe(&circuit);
+        faults.extend(
+            enumerate_nfbfs(&circuit, BridgeKind::And)
+                .into_iter()
+                .take(6)
+                .map(Fault::from),
+        );
+        let private = sweep_universe(
+            &circuit,
+            &faults,
+            &SweepConfig {
+                manager: ManagerMode::Private,
+                ..Default::default()
+            },
+        );
+        for threads in [1, 2, 4] {
+            let shared = sweep_universe(
+                &circuit,
+                &faults,
+                &SweepConfig {
+                    manager: ManagerMode::SharedSnapshot,
+                    parallelism: Parallelism::Threads(threads),
+                    ..Default::default()
+                },
+            );
+            assert_bit_identical(&private.summaries, &shared.summaries);
+        }
+    }
+
+    #[test]
+    fn batch_size_does_not_change_results() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let reference = sweep_universe(
+            &circuit,
+            &faults,
+            &SweepConfig {
+                batch: 1,
+                ..Default::default()
+            },
+        );
+        for (batch, threads) in [(2, 1), (8, 3), (1000, 2)] {
+            let other = sweep_universe(
+                &circuit,
+                &faults,
+                &SweepConfig {
+                    batch,
+                    parallelism: Parallelism::Threads(threads),
+                    ..Default::default()
+                },
+            );
+            assert_bit_identical(&reference.summaries, &other.summaries);
+        }
+    }
+
+    #[test]
+    fn planned_batches_are_a_disjoint_cover_of_the_classes() {
+        let circuit = alu74181();
+        let faults = stuck_at_universe(&circuit);
+        let collapsed = collapse_faults(&circuit, &faults);
+        let reach = Reachability::compute(&circuit);
+        for max in [1, 2, 8, 64] {
+            let batches = plan_batches(&faults, &collapsed.classes, &reach, max);
+            // Cover: every class exactly once, in a deterministic plan.
+            let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..collapsed.classes.len()).collect::<Vec<_>>());
+            assert!(batches.iter().all(|b| !b.is_empty() && b.len() <= max));
+            assert_eq!(batches, plan_batches(&faults, &collapsed.classes, &reach, max));
+            // Soundness: representatives inside a batch are pairwise
+            // cone-disjoint.
+            for b in &batches {
+                for (i, &x) in b.iter().enumerate() {
+                    for &y in &b[i + 1..] {
+                        let fx = class_flow_net(&faults, &collapsed.classes[x], &reach).unwrap();
+                        let fy = class_flow_net(&faults, &collapsed.classes[y], &reach).unwrap();
+                        assert!(reach.cones_disjoint(fx, fy), "batch packs overlapping cones");
+                    }
+                }
+            }
+        }
+        // max > 1 actually fuses something on a circuit this wide.
+        let batches = plan_batches(&faults, &collapsed.classes, &reach, 8);
+        assert!(batches.iter().any(|b| b.len() > 1), "no fusion on alu74181");
+    }
+
+    #[test]
+    fn bridging_classes_are_never_batched() {
+        let circuit = c95();
+        let faults: Vec<Fault> = enumerate_nfbfs(&circuit, BridgeKind::And)
+            .into_iter()
+            .take(8)
+            .map(Fault::from)
+            .collect();
+        let collapsed = collapse_faults(&circuit, &faults);
+        let reach = Reachability::compute(&circuit);
+        let batches = plan_batches(&faults, &collapsed.classes, &reach, 8);
+        assert!(batches.iter().all(|b| b.len() == 1));
+    }
+
+    #[test]
+    fn shared_snapshot_base_is_immutable_across_workers() {
+        let circuit = c95();
+        let snapshot = DiffProp::build_snapshot(&circuit, EngineConfig::default()).unwrap();
+        let digest = snapshot.table_digest();
+        let nodes = snapshot.num_nodes();
+        let faults = stuck_at_universe(&circuit);
+        // Two engines hammer the same frozen base concurrently-in-spirit:
+        // each allocates delta nodes and garbage-collects, neither may move
+        // or rewrite a base node.
+        for _ in 0..2 {
+            let mut dp = DiffProp::from_snapshot(&circuit, &snapshot, EngineConfig::default());
+            for f in &faults {
+                let _ = dp.analyze(f);
+            }
+        }
+        assert_eq!(snapshot.table_digest(), digest, "frozen base mutated");
+        assert_eq!(snapshot.num_nodes(), nodes);
+    }
+
+    #[test]
+    fn shared_mode_attributes_base_hits() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let shared = sweep_universe(
+            &circuit,
+            &faults,
+            &SweepConfig {
+                parallelism: Parallelism::Threads(2),
+                ..Default::default()
+            },
+        );
+        let merged = shared.merged_stats();
+        assert!(merged.base_hits > 0, "workers never probed the frozen base");
+        assert_eq!(merged.unique.lookups, merged.base_hits + merged.delta_lookups);
     }
 }

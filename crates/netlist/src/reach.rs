@@ -82,6 +82,54 @@ impl Reachability {
         targets.iter().any(|&t| self.reaches(a, t))
     }
 
+    /// Words per cone row — the length of the masks consumed by
+    /// [`Reachability::cone_union_into`] and [`Reachability::cone_intersects`].
+    pub fn num_words(&self) -> usize {
+        self.words
+    }
+
+    /// ORs the fanout-cone row of `a` (self included) into `mask`, an
+    /// accumulator of `num_words()` words. Batch schedulers use this to grow
+    /// the footprint of a set of fault cones one site at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not a net of the relation or `mask` has the wrong
+    /// length — out-of-range sites (e.g. a fault imported from a different
+    /// circuit) must be screened by the caller, not silently packed.
+    pub fn cone_union_into(&self, a: NetId, mask: &mut [u64]) {
+        let i = a.index();
+        assert!(i < self.n, "net index {i} out of range ({} nets)", self.n);
+        assert_eq!(mask.len(), self.words, "mask length mismatch");
+        for (m, &w) in mask.iter_mut().zip(&self.bits[i * self.words..(i + 1) * self.words]) {
+            *m |= w;
+        }
+    }
+
+    /// `true` when the fanout cone of `a` shares at least one net with the
+    /// accumulated `mask` (same panics as [`Reachability::cone_union_into`]).
+    pub fn cone_intersects(&self, a: NetId, mask: &[u64]) -> bool {
+        let i = a.index();
+        assert!(i < self.n, "net index {i} out of range ({} nets)", self.n);
+        assert_eq!(mask.len(), self.words, "mask length mismatch");
+        self.bits[i * self.words..(i + 1) * self.words]
+            .iter()
+            .zip(mask)
+            .any(|(&w, &m)| w & m != 0)
+    }
+
+    /// `true` when the fanout cones of `a` and `b` have no net in common —
+    /// the soundness condition for analysing two faults in one propagation
+    /// pass (their difference fronts can never meet).
+    pub fn cones_disjoint(&self, a: NetId, b: NetId) -> bool {
+        let (i, j) = (a.index(), b.index());
+        assert!(i < self.n && j < self.n, "net index out of range");
+        self.bits[i * self.words..(i + 1) * self.words]
+            .iter()
+            .zip(&self.bits[j * self.words..(j + 1) * self.words])
+            .all(|(&w, &v)| w & v == 0)
+    }
+
     /// Per-net flag: does the net reach at least one primary output of
     /// `circuit`? Nets with a `false` entry are dangling logic — nothing
     /// they compute is ever observable, so fault propagation may skip them.
@@ -117,6 +165,36 @@ mod tests {
         let r = Reachability::compute(&c);
         assert_eq!(r.num_nets(), c.num_nets());
         assert!(r.feeds_output_flags(&c).iter().all(|&b| b));
+    }
+
+    #[test]
+    fn cone_masks_agree_with_pairwise_queries() {
+        let c = c17();
+        let r = Reachability::compute(&c);
+        for a in c.nets() {
+            let mut mask = vec![0u64; r.num_words()];
+            r.cone_union_into(a, &mut mask);
+            for b in c.nets() {
+                // The mask is exactly a's cone, so intersecting b's cone
+                // with it is the disjointness complement.
+                assert_eq!(r.cone_intersects(b, &mask), !r.cones_disjoint(a, b), "{a} vs {b}");
+                // Disjointness is symmetric and reflexively false.
+                assert_eq!(r.cones_disjoint(a, b), r.cones_disjoint(b, a));
+            }
+            assert!(!r.cones_disjoint(a, a), "a cone always meets itself");
+        }
+    }
+
+    #[test]
+    fn disjoint_cones_share_no_net() {
+        let c = c17();
+        let r = Reachability::compute(&c);
+        for a in c.nets() {
+            for b in c.nets() {
+                let overlap = c.nets().any(|x| r.reaches(a, x) && r.reaches(b, x));
+                assert_eq!(r.cones_disjoint(a, b), !overlap, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

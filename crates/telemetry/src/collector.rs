@@ -119,6 +119,12 @@ pub enum CounterKind {
     UniqueLookups,
     /// Unique-table probes that found an existing node.
     UniqueHits,
+    /// Probes resolved against a shared frozen base table (delta managers
+    /// only; zero for private managers).
+    UniqueBaseHits,
+    /// Probes that fell through to the private delta table (lookups =
+    /// base hits + delta lookups for every manager).
+    UniqueDeltaLookups,
     /// Op-cache probes, *cumulative across GC generations*.
     OpCacheLookups,
     /// Op-cache probes that hit, cumulative across GC generations.
@@ -152,11 +158,13 @@ pub enum CounterKind {
 
 impl CounterKind {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 16;
+    pub const COUNT: usize = 18;
     /// All counters, in serialisation order.
     pub const ALL: [CounterKind; CounterKind::COUNT] = [
         CounterKind::UniqueLookups,
         CounterKind::UniqueHits,
+        CounterKind::UniqueBaseHits,
+        CounterKind::UniqueDeltaLookups,
         CounterKind::OpCacheLookups,
         CounterKind::OpCacheHits,
         CounterKind::OpSteps,
@@ -178,6 +186,8 @@ impl CounterKind {
         match self {
             CounterKind::UniqueLookups => "unique_lookups",
             CounterKind::UniqueHits => "unique_hits",
+            CounterKind::UniqueBaseHits => "unique_base_hits",
+            CounterKind::UniqueDeltaLookups => "unique_delta_lookups",
             CounterKind::OpCacheLookups => "op_cache_lookups",
             CounterKind::OpCacheHits => "op_cache_hits",
             CounterKind::OpSteps => "op_steps",
@@ -215,19 +225,24 @@ pub enum HistKind {
     FaultNanos,
     /// Members per analysed equivalence class.
     ClassSize,
+    /// Classes per work-queue batch (1 for every unpackable or unbatched
+    /// class; > 1 only for fused cone-disjoint stuck-at batches).
+    BatchSize,
 }
 
 impl HistKind {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 2;
+    pub const COUNT: usize = 3;
     /// All histograms, in serialisation order.
-    pub const ALL: [HistKind; HistKind::COUNT] = [HistKind::FaultNanos, HistKind::ClassSize];
+    pub const ALL: [HistKind; HistKind::COUNT] =
+        [HistKind::FaultNanos, HistKind::ClassSize, HistKind::BatchSize];
 
     /// Stable snake_case name, as serialised in `sweep_report.json`.
     pub fn name(self) -> &'static str {
         match self {
             HistKind::FaultNanos => "fault_nanos",
             HistKind::ClassSize => "class_size",
+            HistKind::BatchSize => "batch_size",
         }
     }
 
@@ -235,6 +250,7 @@ impl HistKind {
         match self {
             HistKind::FaultNanos => 0,
             HistKind::ClassSize => 1,
+            HistKind::BatchSize => 2,
         }
     }
 }

@@ -33,6 +33,13 @@
 //!   the live node count outgrows the last reordered size. Execution-only:
 //!   the printed rows are byte-identical across strategies, but on the deep
 //!   surrogates (`c432s`...) a good order is orders of magnitude faster.
+//! * `--manager shared|private` selects how sweep workers get their good
+//!   functions: `shared` (the default) freezes one immutable snapshot that
+//!   every worker extends with a private delta table; `private` rebuilds
+//!   the good functions per worker. Execution-only: rows are identical.
+//! * `--batch N` caps the cone-disjoint fault batches fused into single
+//!   propagation passes (default 8; `1` disables fusion). Execution-only:
+//!   rows are identical at every batch size.
 //!
 //! Without `--node-budget` every analysis is exact and the output is
 //! identical to the unbudgeted engine's.
@@ -42,7 +49,7 @@ use diffprop::analysis::{
 };
 use diffprop::core::{
     find_redundancies, generate_tests, sweep_report, sweep_universe, BudgetConfig, EngineConfig,
-    FallbackConfig, OrderStrategy, Parallelism, SweepConfig,
+    FallbackConfig, ManagerMode, OrderStrategy, Parallelism, SweepConfig,
 };
 use diffprop::faults::BridgeKind;
 use diffprop::netlist::{generators, parse_bench, Circuit, Scoap};
@@ -85,7 +92,11 @@ fn usage() -> ! {
                                (analyze command; printed rows are unchanged)\n\
          --order S             OBDD variable-order strategy (default identity);\n\
                                auto = fanin-dfs + dynamic sifting. Rows are identical\n\
-                               across strategies, wall clock is not"
+                               across strategies, wall clock is not\n\
+         --manager M           shared (default) = workers extend one frozen good-function\n\
+                               snapshot; private = per-worker rebuild. Rows are identical\n\
+         --batch N             max cone-disjoint faults fused per propagation pass\n\
+                               (default 8, 1 disables fusion; rows are identical)"
     );
     std::process::exit(2);
 }
@@ -98,6 +109,8 @@ struct Opts {
     collapse: bool,
     telemetry_path: Option<String>,
     order: OrderStrategy,
+    manager: ManagerMode,
+    batch: usize,
 }
 
 impl Opts {
@@ -128,6 +141,8 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
         collapse: true,
         telemetry_path: None,
         order: OrderStrategy::Identity,
+        manager: ManagerMode::default(),
+        batch: SweepConfig::default().batch,
     };
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -171,6 +186,28 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
                     eprintln!("--order: unknown strategy `{v}`");
                     usage()
                 });
+            }
+            "--manager" => {
+                let v = value("--manager");
+                opts.manager = match v.as_str() {
+                    "shared" => ManagerMode::SharedSnapshot,
+                    "private" => ManagerMode::Private,
+                    _ => {
+                        eprintln!("--manager: expected `shared` or `private`, got `{v}`");
+                        usage()
+                    }
+                };
+            }
+            "--batch" => {
+                let v = value("--batch");
+                opts.batch = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--batch: `{v}` is not a number");
+                    usage()
+                });
+                if opts.batch == 0 {
+                    eprintln!("--batch: must be at least 1");
+                    usage()
+                }
             }
             f if f.starts_with("--") => {
                 eprintln!("unknown option {f}");
@@ -249,6 +286,8 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
             fallback,
             collapse: opts.collapse,
             chunk: None,
+            manager: opts.manager,
+            batch: opts.batch,
             ..Default::default()
         },
     );

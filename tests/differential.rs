@@ -15,11 +15,12 @@ use common::{
     assert_matches_golden, bridging_universe, current_golden_lines, stuck_at_universe, GOLDEN_PATH,
 };
 use diffprop::core::{
-    analyze_universe, DiffProp, EngineConfig, OrderStrategy, Parallelism, SweepConfig,
+    analyze_universe, plan_batches, sweep_universe, DiffProp, EngineConfig, OrderStrategy,
+    Parallelism, SweepConfig,
 };
-use diffprop::faults::Fault;
-use diffprop::netlist::generators::{c17, c432_surrogate, c499_surrogate, c95, full_adder};
-use diffprop::netlist::Circuit;
+use diffprop::faults::{collapse_faults, Fault};
+use diffprop::netlist::generators::{alu74181, c17, c432_surrogate, c499_surrogate, c95, full_adder};
+use diffprop::netlist::{Circuit, Reachability};
 use diffprop::sim::{detects, exhaustive_detectability, faulty_outputs};
 
 /// Per-fault brute-force truth: exact detecting-vector count and the set of
@@ -269,6 +270,111 @@ fn check_surrogate_sampled(circuit: &Circuit, fault_cap: usize, vectors_per_faul
 #[test]
 fn c432s_sampled_stuck_at_matches_scalar_oracle_under_ordering() {
     check_surrogate_sampled(&c432_surrogate(), 48, 96);
+}
+
+// ---------------------------------------------------------------------------
+// Batch-vs-single layer: cone-disjoint fused propagation is a pure
+// scheduling change.
+//
+// The fused batch path (PR7) analyses several cone-disjoint stuck-at
+// faults in one propagation pass. Differentially, every batched summary
+// must equal — bit for bit — what a fresh engine computes for the same
+// fault alone; and the greedy packer itself must be deterministic and
+// sound (pairwise-disjoint cones inside every batch).
+// ---------------------------------------------------------------------------
+
+/// Sweeps `faults` with fused batches enabled and checks every summary
+/// against a single-fault engine run in isolation.
+fn check_batch_vs_single(circuit: &Circuit, faults: &[Fault]) {
+    let sweep = sweep_universe(
+        circuit,
+        faults,
+        &SweepConfig {
+            batch: 8,
+            parallelism: Parallelism::Threads(2),
+            ..Default::default()
+        },
+    );
+    assert_eq!(sweep.summaries.len(), faults.len());
+    let mut single = DiffProp::new(circuit);
+    for (fault, summary) in faults.iter().zip(&sweep.summaries) {
+        let alone = single.analyze(fault);
+        assert_eq!(
+            summary.test_count, alone.test_count,
+            "batched test_count for {fault} on {}",
+            circuit.name()
+        );
+        assert_eq!(
+            summary.detectability.to_bits(),
+            alone.detectability.to_bits(),
+            "batched detectability for {fault} on {}",
+            circuit.name()
+        );
+        assert_eq!(
+            summary.observable_outputs, alone.observable_outputs,
+            "batched observability for {fault} on {}",
+            circuit.name()
+        );
+    }
+}
+
+#[test]
+fn c95_batched_sweep_matches_single_fault_analyses() {
+    let c = c95();
+    let mut faults = stuck_at_universe(&c);
+    faults.extend(bridging_universe(&c, 20));
+    check_batch_vs_single(&c, &faults);
+}
+
+#[test]
+fn alu74181_batched_sweep_matches_single_fault_analyses() {
+    let c = alu74181();
+    check_batch_vs_single(&c, &stuck_at_universe(&c));
+}
+
+#[test]
+fn c432s_sampled_batched_sweep_matches_single_fault_analyses() {
+    let c = c432_surrogate();
+    check_batch_vs_single(&c, &sampled_faults(&c, 32));
+}
+
+#[test]
+fn batch_packing_is_deterministic_and_cone_sound() {
+    for circuit in [c95(), alu74181()] {
+        let faults = stuck_at_universe(&circuit);
+        let collapsed = collapse_faults(&circuit, &faults);
+        let reach = Reachability::compute(&circuit);
+        let batches = plan_batches(&faults, &collapsed.classes, &reach, 8);
+        // Deterministic: replanning from scratch yields the same packing.
+        let replay = plan_batches(&faults, &collapsed.classes, &reach, 8);
+        assert_eq!(batches, replay, "packing is not deterministic");
+        // Exact cover of the class list.
+        let mut seen: Vec<usize> = batches.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..collapsed.classes.len()).collect::<Vec<_>>());
+        // Sound: representatives inside one batch have pairwise-disjoint
+        // fanout cones (the condition that makes fusion exact).
+        for batch in &batches {
+            assert!(batch.len() <= 8);
+            for (i, &x) in batch.iter().enumerate() {
+                for &y in &batch[i + 1..] {
+                    let site = |class: usize| match &faults[collapsed.classes[class].representative]
+                    {
+                        Fault::StuckAt(f) => match f.site {
+                            diffprop::faults::FaultSite::Net(n) => n,
+                            diffprop::faults::FaultSite::Branch(b) => b.sink,
+                        },
+                        Fault::Bridging(_) => panic!("bridging fault packed into a batch"),
+                    };
+                    assert!(
+                        reach.cones_disjoint(site(x), site(y)),
+                        "batch on {} packs overlapping cones",
+                        circuit.name()
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

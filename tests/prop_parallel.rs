@@ -73,12 +73,15 @@ fn assert_stats_consistent(sweep: &SweepResult) {
         let total = s.op_total();
         assert_eq!(total.hits + total.misses, total.lookups);
         // Every unique-table miss allocates exactly one node and nothing
-        // else does, so with the single shared terminal the peak is bracketed
-        // by the total ever allocated — and equals it while no gc compacted.
-        assert!(s.peak_nodes >= 1, "peak below the terminal");
-        assert!(s.peak_nodes as u64 <= 1 + s.unique.misses);
+        // else does, so the peak is bracketed by the starting table (the
+        // frozen base for a shared-snapshot worker, the lone terminal
+        // otherwise) plus the total ever allocated — and equals it while no
+        // gc compacted.
+        let floor = s.base_nodes.max(1) as u64;
+        assert!(s.peak_nodes as u64 >= floor, "peak below the starting table");
+        assert!(s.peak_nodes as u64 <= floor + s.unique.misses);
         if s.gc_runs == 0 {
-            assert_eq!(s.peak_nodes as u64, 1 + s.unique.misses);
+            assert_eq!(s.peak_nodes as u64, floor + s.unique.misses);
         }
     }
 }

@@ -1,0 +1,92 @@
+//! Shared-manager snapshot layer: scheduling and manager-mode invariance.
+//!
+//! PR7's shared-manager parallelism must be a pure execution-strategy
+//! change: the golden TSV (`tests/golden/universe_summaries.tsv`, f64s as
+//! bit patterns) has to come out byte-identical whether workers get private
+//! managers or delta managers over one frozen snapshot, at any thread
+//! count, under any variable-order strategy. A white-box layer then pins
+//! the freeze contract itself: the frozen base is immutable — its node
+//! count and table digest are unchanged after engines have analysed whole
+//! universes on top of it.
+
+mod common;
+
+use common::{assert_matches_golden, current_golden_lines, stuck_at_universe};
+use diffprop::core::{
+    DiffProp, EngineConfig, ManagerMode, OrderStrategy, Parallelism, SweepConfig,
+};
+use diffprop::netlist::generators::c95;
+
+fn config(parallelism: Parallelism, manager: ManagerMode, order: OrderStrategy) -> SweepConfig {
+    SweepConfig {
+        engine: EngineConfig {
+            order,
+            ..Default::default()
+        },
+        parallelism,
+        manager,
+        ..Default::default()
+    }
+}
+
+/// The full cross product the issue pins: {serial, 2T, 4T} ×
+/// {private-manager, shared-snapshot} × {identity, fanin-dfs, auto} all
+/// reproduce the committed golden file byte for byte.
+#[test]
+fn golden_summaries_are_invariant_under_manager_mode_threads_and_order() {
+    for order in [
+        OrderStrategy::Identity,
+        OrderStrategy::FaninDfs,
+        OrderStrategy::Auto,
+    ] {
+        for manager in [ManagerMode::Private, ManagerMode::SharedSnapshot] {
+            for parallelism in [
+                Parallelism::Serial,
+                Parallelism::Threads(2),
+                Parallelism::Threads(4),
+            ] {
+                let lines = current_golden_lines(&config(parallelism, manager, order));
+                assert_matches_golden(&lines);
+            }
+        }
+    }
+}
+
+/// White-box freeze contract: workers hammering delta managers on top of
+/// one snapshot never change the frozen base — same node count, same
+/// FNV digest over the node array, before and after.
+#[test]
+fn frozen_base_is_immutable_while_workers_analyze() {
+    let circuit = c95();
+    let snapshot = DiffProp::build_snapshot(&circuit, EngineConfig::default()).unwrap();
+    let nodes_before = snapshot.num_nodes();
+    let digest_before = snapshot.table_digest();
+    let faults = stuck_at_universe(&circuit);
+
+    std::thread::scope(|scope| {
+        for w in 0..4 {
+            let snapshot = &snapshot;
+            let faults = &faults;
+            let circuit = &circuit;
+            scope.spawn(move || {
+                let mut dp = DiffProp::from_snapshot(circuit, snapshot, EngineConfig::default());
+                // Interleaved shares so every worker allocates delta nodes
+                // and garbage-collects over the same base concurrently.
+                for fault in faults.iter().skip(w).step_by(2) {
+                    let analysis = dp.analyze(fault);
+                    assert!(analysis.test_count.is_some(), "exact analysis expected");
+                }
+                let stats = dp.good().manager().stats();
+                assert!(stats.base_hits > 0, "worker never resolved from the base");
+                assert_eq!(stats.unique.lookups, stats.base_hits + stats.delta_lookups);
+            });
+        }
+    });
+
+    assert_eq!(snapshot.num_nodes(), nodes_before, "frozen base grew");
+    assert_eq!(
+        snapshot.table_digest(),
+        digest_before,
+        "frozen base nodes were rewritten"
+    );
+}
