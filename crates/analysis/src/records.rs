@@ -90,15 +90,27 @@ pub fn records_from_sweep(
     faults: &[Fault],
     sweep: &SweepResult,
 ) -> Vec<FaultRecord> {
+    records_from_summaries(circuit, faults, &sweep.summaries)
+}
+
+/// [`records_from_sweep`] over bare summaries — for callers that obtained
+/// the per-fault scalars without a local [`SweepResult`], e.g. the
+/// `diffprop analyze --connect` client which reconstructs summaries from a
+/// `dp-serve` record stream.
+pub fn records_from_summaries(
+    circuit: &Circuit,
+    faults: &[Fault],
+    summaries: &[dp_core::FaultSummary],
+) -> Vec<FaultRecord> {
     assert_eq!(
         faults.len(),
-        sweep.summaries.len(),
-        "sweep does not cover the fault list"
+        summaries.len(),
+        "summaries do not cover the fault list"
     );
     let levels = circuit.levels_from_inputs();
     let to_po = circuit.max_levels_to_output();
     let mut records = Vec::with_capacity(faults.len());
-    for (fault, summary) in faults.iter().zip(&sweep.summaries) {
+    for (fault, summary) in faults.iter().zip(summaries) {
         debug_assert_eq!(*fault, summary.fault);
         // A branch fault only influences the circuit through its sink gate,
         // so its fed POs and PO distance go through the sink; net-site and

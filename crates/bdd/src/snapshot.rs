@@ -110,6 +110,26 @@ impl FrozenManager {
         &self.base.build_stats
     }
 
+    /// Approximate resident size of the frozen base, in bytes — the node
+    /// arena plus the unique table (bucket slots estimated at the table's
+    /// capacity) plus the two order maps.
+    ///
+    /// This is a *budgeting* figure for cache admission/eviction, not an
+    /// allocator-exact measurement: it is deterministic for a given base,
+    /// monotone in the node count, and within a small constant factor of
+    /// the truth — which is all an LRU byte budget needs.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let node = size_of::<Node>();
+        // HashMap stores (key, value) pairs plus ~1 byte of control metadata
+        // per bucket slot; capacity() counts usable slots.
+        let table_slot = size_of::<(Node, NodeId)>() + 1;
+        self.base.nodes.len() * node
+            + self.base.unique.capacity() * table_slot
+            + self.base.var_to_level.len() * size_of::<u32>()
+            + self.base.level_to_var.len() * size_of::<Var>()
+    }
+
     /// FNV-1a digest of the frozen node table (variables and raw edges).
     ///
     /// Two calls must agree unless the base was mutated — which the type
@@ -231,6 +251,24 @@ mod tests {
         assert_eq!(remap.map(f), f, "base handles are identity-remapped");
         let _ = garbage; // collected; mapping it would panic
         w.assert_canonical();
+    }
+
+    #[test]
+    fn approx_bytes_is_deterministic_and_node_monotone() {
+        let (frozen, _) = frozen_xor();
+        let small = frozen.approx_bytes();
+        assert!(small > 0);
+        assert_eq!(small, frozen.approx_bytes());
+        // A visibly larger table must report more bytes.
+        let mut m = Manager::new(8);
+        let mut f = m.var(0);
+        for v in 1..8 {
+            let x = m.var(v);
+            f = m.xor(f, x);
+        }
+        let big = m.freeze();
+        assert!(big.num_nodes() > frozen.num_nodes());
+        assert!(big.approx_bytes() > small);
     }
 
     #[test]

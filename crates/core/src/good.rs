@@ -238,6 +238,13 @@ impl GoodSnapshot {
         self.frozen.table_digest()
     }
 
+    /// Approximate resident size of the snapshot in bytes: the frozen base
+    /// (node arena + unique table + order maps) plus the per-net function
+    /// handles. The figure a byte-budgeted snapshot cache charges per entry.
+    pub fn approx_bytes(&self) -> usize {
+        self.frozen.approx_bytes() + self.funcs.len() * std::mem::size_of::<NodeId>()
+    }
+
     /// The building manager's counters at freeze time: the one-off cost of
     /// constructing the shared base, which sweep accounting folds in exactly
     /// once instead of once per worker.

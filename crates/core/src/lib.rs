@@ -82,8 +82,9 @@ pub use observability::Observability;
 pub use order::OrderStrategy;
 pub use dp_telemetry::TelemetryLevel;
 pub use parallel::{
-    analyze_universe, analyze_universe_with, plan_batches, sweep_universe, FallbackConfig,
-    FaultOutcome, FaultSummary, ManagerMode, Parallelism, ShardReport, SweepConfig, SweepResult,
+    analyze_universe, analyze_universe_with, plan_batches, sweep_universe, sweep_universe_ext,
+    sweep_universe_streamed, ClassId, FallbackConfig, FaultOutcome, FaultSummary, ManagerMode,
+    Parallelism, RecordSink, ShardReport, SweepConfig, SweepResult, WORKER_PANIC,
 };
 pub use redundancy::{find_redundancies, RedundancyReport};
-pub use report::{summaries_digest, sweep_report};
+pub use report::{summaries_digest, summary_line, sweep_report};

@@ -32,6 +32,12 @@ pub enum OrderStrategy {
     /// [`OrderStrategy::FaninDfs`] statically, plus budget-exempt dynamic
     /// sifting mid-sweep whenever the live node count outgrows the last
     /// reordered size (see `DiffProp::maybe_gc`).
+    ///
+    /// Auto deliberately does *not* consider [`OrderStrategy::Interleave`]:
+    /// even after the support-locality rederivation, interleave has yet to
+    /// beat fanin-DFS on a surrogate (EXPERIMENTS.md "Static order shoot-out"
+    /// keeps the measurement current), so the static seed stays fanin-DFS
+    /// until the data says otherwise.
     Auto,
     /// A seeded pseudo-random permutation (Fisher–Yates over splitmix64).
     /// Exists for the order-invariance test layer; never a good idea for

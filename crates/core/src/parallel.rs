@@ -64,9 +64,10 @@
 //! assertion deep in the engine) never takes the sweep down — its class's
 //! partial summaries are discarded, the worker rebuilds its engine, and
 //! **every other class's summaries are returned untouched**, still in input
-//! order. The worker's [`ShardReport::panic`] carries the first panic
-//! message. Callers that require full coverage check
-//! [`SweepResult::is_complete`].
+//! order. The worker's [`ShardReport::panics`] carries every panicked
+//! class id with its message, so a batch caller (or the sweep service) can
+//! report exactly which requests died. Callers that require full coverage
+//! check [`SweepResult::is_complete`].
 //!
 //! # Resource bounds and graceful degradation
 //!
@@ -98,8 +99,10 @@
 //! assert_eq!(serial.summaries.len(), faults.len());
 //! ```
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use dp_bdd::ManagerStats;
@@ -114,6 +117,14 @@ use dp_telemetry::{
 
 use crate::engine::{DiffProp, EngineConfig};
 use crate::good::GoodSnapshot;
+
+/// Index of an equivalence class in the sweep's collapsed class list — the
+/// unit of panic attribution in [`ShardReport::panics`].
+pub type ClassId = usize;
+
+/// Sentinel [`ClassId`] for a worker-level panic that escaped per-class
+/// isolation (the catch machinery itself unwound); carries no class.
+pub const WORKER_PANIC: ClassId = ClassId::MAX;
 
 /// How a fault-universe sweep is executed.
 ///
@@ -316,16 +327,31 @@ pub struct ShardReport {
     /// (default counters when the worker claimed nothing or never built an
     /// engine).
     pub stats: ManagerStats,
-    /// The first panic message, if any class this worker claimed panicked.
-    /// That class's faults have no summaries; all other classes (including
-    /// this worker's later claims) are unaffected.
-    pub panic: Option<String>,
+    /// Every panic this worker saw, as `(class id, message)` pairs in the
+    /// order the classes were claimed. A panicked class's faults have no
+    /// summaries; all other classes (including this worker's later claims)
+    /// are unaffected. The class id indexes the collapsed class list; the
+    /// sentinel [`WORKER_PANIC`] marks a worker-level failure that could not
+    /// be attributed to a class (the catch machinery itself unwound).
+    pub panics: Vec<(ClassId, String)>,
     /// Everything this worker's collector recorded: span aggregates
     /// (chunk/class/fault, plus gate propagation from the engine), counters
     /// (including the manager's cumulative cache statistics, harvested at
     /// worker exit), and latency histograms. Default (empty, level `Off`)
     /// when the sweep ran with telemetry off or the worker claimed nothing.
     pub telemetry: TelemetrySnapshot,
+}
+
+impl ShardReport {
+    /// The first panic message, if any class this worker claimed panicked.
+    ///
+    /// Kept for callers of the pre-`panics` API; it drops every panic after
+    /// the first, which is exactly the information loss [`ShardReport::panics`]
+    /// exists to fix.
+    #[deprecated(note = "use `panics` — it carries every panicked class id and message")]
+    pub fn panic(&self) -> Option<&str> {
+        self.panics.first().map(|(_, msg)| msg.as_str())
+    }
 }
 
 /// The merged outcome of a sweep: per-fault summaries in the original fault
@@ -375,12 +401,18 @@ impl SweepResult {
 
     /// `true` when no class panicked — every input fault has a summary.
     pub fn is_complete(&self) -> bool {
-        self.shards.iter().all(|s| s.panic.is_none())
+        self.shards.iter().all(|s| s.panics.is_empty())
     }
 
     /// The workers that saw a panic (empty on a healthy sweep).
     pub fn failed_shards(&self) -> Vec<&ShardReport> {
-        self.shards.iter().filter(|s| s.panic.is_some()).collect()
+        self.shards.iter().filter(|s| !s.panics.is_empty()).collect()
+    }
+
+    /// Every panicked class across all workers, as `(class id, message)`
+    /// pairs — what a batch server reports back per poisoned request.
+    pub fn panicked_classes(&self) -> Vec<&(ClassId, String)> {
+        self.shards.iter().flat_map(|s| &s.panics).collect()
     }
 
     /// Number of summaries that are budget-capped estimates.
@@ -442,6 +474,54 @@ pub fn analyze_universe_with(
 /// and reported per worker, and budget trips degrade per fault to sampled
 /// estimates (see the module docs on panic isolation and degradation).
 pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig) -> SweepResult {
+    sweep_universe_ext(circuit, faults, config, None, None)
+}
+
+/// [`sweep_universe`] that additionally yields each summary to `on_record`
+/// **incrementally, in strict input-fault order**, as the work-stealing
+/// queue completes the prefix.
+///
+/// Workers report whole batches as they finish; a reorder buffer on the
+/// calling thread releases index `i` only once every index `< i` has been
+/// either emitted or lost to a class panic, so a consumer that concatenates
+/// the records sees exactly [`SweepResult::summaries`] — byte-identical,
+/// regardless of thread count or chunk size. The callback runs on the
+/// calling thread, inside the sweep; the returned [`SweepResult`] is the
+/// same merged result a batch call produces.
+pub fn sweep_universe_streamed(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: &SweepConfig,
+    on_record: RecordSink<'_>,
+) -> SweepResult {
+    sweep_universe_ext(circuit, faults, config, None, Some(on_record))
+}
+
+/// An in-order per-record sink for streamed sweeps: invoked with the input
+/// fault index and its summary, in strictly ascending index order.
+pub type RecordSink<'a> = &'a mut dyn FnMut(usize, &FaultSummary);
+
+/// The full-control sweep entry point behind [`sweep_universe`] and
+/// [`sweep_universe_streamed`]: an optional pre-built warm snapshot and an
+/// optional in-order record sink.
+///
+/// `warm_snapshot` is the resident-service path ([`ManagerMode::SharedSnapshot`]
+/// only; ignored under [`ManagerMode::Private`]): workers thaw the provided
+/// frozen good functions instead of the sweep building its own, so the sweep
+/// performs **zero** good-function builds and its reported [`ManagerStats`]
+/// contain thaw-only work — the build cost stays attributed to whoever built
+/// the snapshot (e.g. a server cache at admission time). The caller must have
+/// built the snapshot from the same circuit with the same
+/// [`EngineConfig::order`](crate::EngineConfig), or detectabilities would
+/// still be correct (OBDD canonicity) but the cost model and any sifted
+/// order are no longer comparable.
+pub fn sweep_universe_ext(
+    circuit: &Circuit,
+    faults: &[Fault],
+    config: &SweepConfig,
+    warm_snapshot: Option<&GoodSnapshot>,
+    on_record: Option<RecordSink<'_>>,
+) -> SweepResult {
     // The sweep span is recorded by the merging thread's own collector;
     // worker collectors are private and merged into `totals` afterwards.
     let mut sweep_col = Collector::new(config.telemetry);
@@ -471,15 +551,19 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
         (0..classes.len()).map(|c| vec![c]).collect()
     };
     // Shared-manager mode: build and freeze the good functions once, on the
-    // sweeping thread. A budget too small for the build leaves `None` and
-    // every class degrades to a sampled estimate — exactly as when each
-    // worker fails its own private build.
-    let snapshot: Option<GoodSnapshot> = match config.manager {
+    // sweeping thread — unless the caller supplied a warm snapshot, in which
+    // case this sweep builds nothing at all. A budget too small for the
+    // build leaves `None` and every class degrades to a sampled estimate —
+    // exactly as when each worker fails its own private build.
+    let built: Option<GoodSnapshot> = match config.manager {
         ManagerMode::Private => None,
-        ManagerMode::SharedSnapshot if classes.is_empty() => None,
+        ManagerMode::SharedSnapshot if classes.is_empty() || warm_snapshot.is_some() => None,
         ManagerMode::SharedSnapshot => DiffProp::build_snapshot(circuit, config.engine).ok(),
     };
-    let snapshot = snapshot.as_ref();
+    let snapshot: Option<&GoodSnapshot> = match config.manager {
+        ManagerMode::Private => None,
+        ManagerMode::SharedSnapshot => warm_snapshot.or(built.as_ref()),
+    };
     // Never more workers than queue entries: an extra worker would thaw or
     // build good functions only to find the queue drained.
     let workers = config.parallelism.workers().min(batches.len()).max(1);
@@ -490,22 +574,34 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
     let next = AtomicUsize::new(0);
     let batches = batches.as_slice();
 
-    let parts: Vec<(Vec<(usize, FaultSummary)>, ShardReport)> = if workers <= 1 {
+    let streaming = on_record.is_some();
+    let parts: Vec<(Vec<(usize, FaultSummary)>, ShardReport)> = if !streaming && workers <= 1 {
         vec![run_worker(
-            circuit, faults, classes, batches, snapshot, &next, chunk, 0, config,
+            circuit, faults, classes, batches, snapshot, &next, chunk, 0, config, None,
         )]
     } else {
+        // Streaming always spawns, even for one worker: the calling thread
+        // stays free to drain the record channel while the worker sweeps.
         std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<StreamEvent>();
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let next = &next;
+                    let tx = streaming.then(|| tx.clone());
                     scope.spawn(move || {
                         run_worker(
                             circuit, faults, classes, batches, snapshot, next, chunk, w, config,
+                            tx,
                         )
                     })
                 })
                 .collect();
+            // Close the channel once every worker's clone is gone, so the
+            // drain loop terminates when the last worker exits.
+            drop(tx);
+            if let Some(on_record) = on_record {
+                drain_stream(rx, on_record);
+            }
             handles
                 .into_iter()
                 .enumerate()
@@ -522,7 +618,7 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
                                 faults_done: 0,
                                 busy: Duration::ZERO,
                                 stats: ManagerStats::default(),
-                                panic: Some(panic_message(payload.as_ref())),
+                                panics: vec![(WORKER_PANIC, panic_message(payload.as_ref()))],
                                 telemetry: TelemetrySnapshot::default(),
                             },
                         )
@@ -543,11 +639,12 @@ pub fn sweep_universe(circuit: &Circuit, faults: &[Fault], config: &SweepConfig)
     }
     indexed.sort_by_key(|&(i, _)| i);
     debug_assert!(indexed.windows(2).all(|w| w[0].0 < w[1].0));
-    // The one-off snapshot build cost is real work this sweep performed:
-    // fold it into the first shard's manager stats (so `merged_stats` and
-    // the per-shard sum both see it exactly once) and into the sweep-level
-    // counters (so `sweep_report.json` totals include it).
-    if let Some(snap) = snapshot {
+    // The one-off snapshot build cost is real work this sweep performed —
+    // but only when this sweep built it. A warm snapshot's build cost
+    // belongs to whoever built it (the server cache, a previous request):
+    // folding it here would double-count and hide the whole point of
+    // reuse, that a cache-hit sweep's counters are thaw-only.
+    if let Some(snap) = built.as_ref() {
         if let Some(first) = reports.first_mut() {
             first.stats = first.stats.merged(snap.build_stats());
         }
@@ -669,6 +766,47 @@ fn build_worker_engine<'c>(
     }
 }
 
+/// What a worker reports to the streaming drain after each finished batch:
+/// the batch's freshly summarised `(global index, summary)` records plus the
+/// global indices of any members lost to a class panic in the batch. Skips
+/// matter: without them a gap would stall the in-order release forever.
+struct StreamEvent {
+    records: Vec<(usize, FaultSummary)>,
+    skips: Vec<usize>,
+}
+
+/// The in-order release side of a streamed sweep: buffers out-of-order
+/// batch completions and invokes `on_record` for index `i` only once every
+/// index `< i` is emitted or skipped. Runs on the sweeping thread until
+/// every worker has dropped its sender.
+fn drain_stream(rx: mpsc::Receiver<StreamEvent>, on_record: &mut dyn FnMut(usize, &FaultSummary)) {
+    // `None` marks an index lost to a panic: released silently.
+    let mut pending: BTreeMap<usize, Option<FaultSummary>> = BTreeMap::new();
+    let mut next_emit = 0usize;
+    for event in rx {
+        for i in event.skips {
+            pending.insert(i, None);
+        }
+        for (i, s) in event.records {
+            pending.insert(i, Some(s));
+        }
+        while let Some(slot) = pending.remove(&next_emit) {
+            if let Some(s) = slot {
+                on_record(next_emit, &s);
+            }
+            next_emit += 1;
+        }
+    }
+    // A worker that died outside per-class isolation leaves a permanent gap;
+    // release the tail in index order rather than dropping it. Indices here
+    // are all ≥ `next_emit`, so the stream stays strictly ascending.
+    for (i, slot) in pending {
+        if let Some(s) = slot {
+            on_record(i, &s);
+        }
+    }
+}
+
 /// One worker: claim chunks of batches from the shared queue until drained.
 ///
 /// The engine is built lazily on the first claim (a worker that never gets
@@ -685,6 +823,7 @@ fn run_worker<'c>(
     chunk: usize,
     worker: usize,
     config: &SweepConfig,
+    stream: Option<mpsc::Sender<StreamEvent>>,
 ) -> (Vec<(usize, FaultSummary)>, ShardReport) {
     let mut out: Vec<(usize, FaultSummary)> = Vec::new();
     let mut report = ShardReport {
@@ -694,7 +833,7 @@ fn run_worker<'c>(
         faults_done: 0,
         busy: Duration::ZERO,
         stats: ManagerStats::default(),
-        panic: None,
+        panics: Vec::new(),
         telemetry: TelemetrySnapshot::default(),
     };
     // One collector per worker, shared with the worker's engine; no other
@@ -719,6 +858,8 @@ fn run_worker<'c>(
             built = true;
         }
         for batch in &batches[lo..hi] {
+            let out_mark = out.len();
+            let panic_mark = report.panics.len();
             collector
                 .borrow_mut()
                 .record_hist(HistKind::BatchSize, batch.len() as u64);
@@ -729,9 +870,22 @@ fn run_worker<'c>(
                 // budget trip, or a (defensively handled) batch panic.
                 for &c in batch {
                     process_class(
-                        circuit, &mut dp, snapshot, faults, &classes[c], config, &collector,
+                        circuit, &mut dp, snapshot, faults, c, &classes[c], config, &collector,
                         &mut out, &mut report,
                     );
+                }
+            }
+            if let Some(tx) = stream.as_ref() {
+                let records = out[out_mark..].to_vec();
+                let skips: Vec<usize> = report.panics[panic_mark..]
+                    .iter()
+                    .filter(|&&(id, _)| id != WORKER_PANIC)
+                    .flat_map(|&(id, _)| classes[id].members.iter().copied())
+                    .collect();
+                if !records.is_empty() || !skips.is_empty() {
+                    // A dropped receiver just means nobody is listening any
+                    // more; the sweep still completes and merges normally.
+                    let _ = tx.send(StreamEvent { records, skips });
                 }
             }
         }
@@ -761,6 +915,7 @@ fn process_class<'c>(
     dp: &mut Option<DiffProp<'c>>,
     snapshot: Option<&GoodSnapshot>,
     faults: &[Fault],
+    class_id: ClassId,
     class: &FaultClass,
     config: &SweepConfig,
     collector: &SharedCollector,
@@ -786,9 +941,7 @@ fn process_class<'c>(
             // mid-operation. (Any RefCell borrow the collector held was
             // released during the unwind.)
             out.truncate(mark);
-            if report.panic.is_none() {
-                report.panic = Some(panic_message(payload.as_ref()));
-            }
+            report.panics.push((class_id, panic_message(payload.as_ref())));
             *dp = catch_unwind(AssertUnwindSafe(|| {
                 build_worker_engine(circuit, snapshot, config)
             }))
@@ -1246,7 +1399,8 @@ mod tests {
         assert!(!sweep.is_complete());
         let failed = sweep.failed_shards();
         assert_eq!(failed.len(), 1, "one worker saw the poisoned class");
-        assert!(failed[0].panic.is_some());
+        assert_eq!(failed[0].panics.len(), 1);
+        assert!(failed[0].panics[0].0 != WORKER_PANIC, "panic attributed to a class");
         // Every healthy fault's summary survives, bit-identical to a clean
         // serial run over the healthy universe.
         assert_eq!(sweep.summaries.len(), healthy);
@@ -1276,7 +1430,7 @@ mod tests {
         assert!(!sweep.is_complete());
         assert!(sweep.summaries.is_empty());
         assert_eq!(sweep.shards.len(), 1);
-        assert!(sweep.shards[0].panic.is_some());
+        assert_eq!(sweep.shards[0].panics.len(), 1);
     }
 
     #[test]
@@ -1307,6 +1461,74 @@ mod tests {
             assert_eq!(s.fault, c.fault);
             assert_eq!(s.test_count, c.test_count);
         }
+    }
+
+    #[test]
+    fn streamed_records_arrive_in_order_and_match_batch() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let batch = sweep_universe(&circuit, &faults, &SweepConfig::default());
+        for threads in [1usize, 4] {
+            let config = SweepConfig {
+                parallelism: Parallelism::Threads(threads),
+                ..Default::default()
+            };
+            let mut seen: Vec<(usize, FaultSummary)> = Vec::new();
+            let streamed = sweep_universe_streamed(&circuit, &faults, &config, &mut |i, s| {
+                seen.push((i, s.clone()))
+            });
+            assert!(streamed.is_complete());
+            assert_eq!(seen.len(), faults.len(), "threads={threads}");
+            for (expect, (i, _)) in seen.iter().enumerate() {
+                assert_eq!(*i, expect, "stream out of order at threads={threads}");
+            }
+            for ((_, s), b) in seen.iter().zip(&batch.summaries) {
+                assert_eq!(s.fault, b.fault);
+                assert_eq!(s.detectability.to_bits(), b.detectability.to_bits());
+                assert_eq!(s.test_count, b.test_count);
+                assert_eq!(s.adherence.map(f64::to_bits), b.adherence.map(f64::to_bits));
+            }
+            assert_bit_identical(&streamed.summaries, &batch.summaries);
+        }
+    }
+
+    #[test]
+    fn streamed_panicked_class_is_skipped_without_stalling() {
+        let circuit = c17();
+        let mut faults = stuck_at_universe(&circuit);
+        let healthy = faults.len();
+        faults.insert(faults.len() / 2, foreign_fault());
+        let mut seen: Vec<usize> = Vec::new();
+        let config = SweepConfig {
+            parallelism: Parallelism::Threads(2),
+            ..Default::default()
+        };
+        let sweep =
+            sweep_universe_streamed(&circuit, &faults, &config, &mut |i, _| seen.push(i));
+        assert!(!sweep.is_complete());
+        // Every healthy index streamed exactly once, ascending; the poisoned
+        // index is absent instead of blocking everything after it.
+        assert_eq!(seen.len(), healthy);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "not ascending: {seen:?}");
+        assert!(!seen.contains(&(faults.len() / 2)));
+    }
+
+    #[test]
+    fn warm_snapshot_sweep_builds_nothing_and_matches_batch() {
+        let circuit = c95();
+        let faults = stuck_at_universe(&circuit);
+        let config = SweepConfig::default();
+        let snapshot = DiffProp::build_snapshot(&circuit, config.engine).expect("c95 builds");
+        let build_lookups = snapshot.build_stats().unique.lookups;
+        assert!(build_lookups > 0);
+        let cold = sweep_universe(&circuit, &faults, &config);
+        let warm = sweep_universe_ext(&circuit, &faults, &config, Some(&snapshot), None);
+        assert_bit_identical(&warm.summaries, &cold.summaries);
+        // The warm sweep performed zero good-function builds: its merged
+        // counters are thaw-only, i.e. the cold sweep's minus the build.
+        let warm_lookups = warm.merged_stats().unique.lookups;
+        let cold_lookups = cold.merged_stats().unique.lookups;
+        assert_eq!(warm_lookups + build_lookups, cold_lookups);
     }
 
     #[test]

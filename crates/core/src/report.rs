@@ -17,9 +17,11 @@ use dp_telemetry::{fnv1a64, ShardExecution, SweepExecution, SweepOutcome, SweepR
 
 use crate::parallel::{FaultOutcome, FaultSummary, SweepResult};
 
-/// One canonical text line per summary (exact: `f64`s by bit pattern), the
-/// input to [`summaries_digest`].
-fn summary_line(index: usize, s: &FaultSummary) -> String {
+/// One canonical text line per summary (exact: `f64`s by bit pattern) — the
+/// input to [`summaries_digest`], and the wire rendering a streamed sweep
+/// frames per record so concatenated stream output is byte-identical to the
+/// batch rendering of [`SweepResult::summaries`].
+pub fn summary_line(index: usize, s: &FaultSummary) -> String {
     let mut line = String::new();
     let _ = write!(line, "{index}\t{}\t{:016x}\t", s.fault, s.detectability.to_bits());
     match s.test_count {
@@ -93,12 +95,15 @@ pub fn sweep_report(circuit: &str, fault_model: &str, result: &SweepResult) -> S
                 .iter()
                 .map(|s| ShardExecution {
                     shard: s.shard as u32,
-                    panicked: s.panic.is_some(),
+                    panicked: !s.panics.is_empty(),
                     busy_nanos: s.busy.as_nanos().min(u64::MAX as u128) as u64,
                     telemetry: s.telemetry.clone(),
                 })
                 .collect(),
         },
+        // Batch reports carry no stream section; a server wraps the sweep
+        // and fills this in from its framing tallies.
+        stream: None,
     }
 }
 

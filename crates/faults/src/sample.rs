@@ -90,8 +90,10 @@ pub fn sample_nfbfs(
         })
         .collect();
     // Largest u^(1/w) ⇔ largest ln(u)/w (ln(u) < 0, dividing by small w
-    // pushes keys towards −∞).
-    keyed.sort_by(|x, y| y.0.partial_cmp(&x.0).expect("keys are finite"));
+    // pushes keys towards −∞). `total_cmp` keeps the sort total even when a
+    // degenerate weight (underflow to 0, coincident placements) produces an
+    // infinite or NaN key — a panic here would take down a whole sweep.
+    keyed.sort_by(|x, y| y.0.total_cmp(&x.0));
     let mut picked: Vec<usize> = keyed[..config.count].iter().map(|&(_, i)| i).collect();
     picked.sort_unstable();
     picked.into_iter().map(|i| candidates[i]).collect()
@@ -229,6 +231,24 @@ mod tests {
             .map(|f| (-(placement.distance(f.a, f.b) / max) / theta).exp())
             .sum();
         assert!((mass - target as f64).abs() < 0.1 * target as f64);
+    }
+
+    #[test]
+    fn degenerate_theta_underflow_never_panics() {
+        // θ small enough that every positive-distance weight e^(−z/θ)
+        // underflows to 0.0, making the Efraimidis–Spirakis keys ln(u)/0 =
+        // −∞ (and leaving coincident pairs, z = 0, at weight 1). The old
+        // `partial_cmp().expect()` comparator panicked the moment such a key
+        // met another; `total_cmp` must sort them and still return exactly
+        // `count` distinct faults.
+        let c = alu74181();
+        let all = enumerate_nfbfs(&c, BridgeKind::And);
+        let s = sample_nfbfs(&c, &all, SampleConfig { count: 40, theta: 1e-300, seed: 9 });
+        assert_eq!(s.len(), 40);
+        let mut seen = std::collections::HashSet::new();
+        for f in &s {
+            assert!(seen.insert(*f), "duplicate fault in degenerate sample");
+        }
     }
 
     #[test]

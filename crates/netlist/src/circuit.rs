@@ -275,6 +275,53 @@ impl Circuit {
         matches!(self.nets[n.index()].driver, Driver::Input)
     }
 
+    /// An FNV-1a digest of the full netlist — name, net names, drivers
+    /// (gate kind and pin order), and the declared input/output lists.
+    ///
+    /// Two circuits share a digest iff they are the same netlist; it is the
+    /// identity under which a resident service caches compiled circuits and
+    /// frozen good-function snapshots, so it deliberately includes names
+    /// (renamed nets report differently even when logically equivalent) and
+    /// excludes nothing that affects analysis output. Deterministic across
+    /// runs and platforms.
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ b as u64).wrapping_mul(PRIME);
+            }
+        }
+        fn eat_u32(h: &mut u64, v: u32) {
+            eat(h, &v.to_le_bytes());
+        }
+        let mut h = OFFSET;
+        eat(&mut h, self.name.as_bytes());
+        eat(&mut h, &[0xff]);
+        for net in &self.nets {
+            eat(&mut h, net.name.as_bytes());
+            eat(&mut h, &[0xfe]);
+            match &net.driver {
+                Driver::Input => eat(&mut h, &[0x00]),
+                Driver::Gate { kind, fanins } => {
+                    eat(&mut h, &[0x01, *kind as u8]);
+                    eat_u32(&mut h, fanins.len() as u32);
+                    for f in fanins {
+                        eat_u32(&mut h, f.0);
+                    }
+                }
+            }
+        }
+        eat(&mut h, &[0xfd]);
+        for io in [&self.inputs, &self.outputs] {
+            eat_u32(&mut h, io.len() as u32);
+            for n in io {
+                eat_u32(&mut h, n.0);
+            }
+        }
+        h
+    }
+
     /// Returns `true` if `n` is a primary output.
     pub fn is_output(&self, n: NetId) -> bool {
         self.outputs.contains(&n)
@@ -629,6 +676,34 @@ mod tests {
         assert_eq!(c.eval(&[true, true]), vec![false, true]);
         assert_eq!(c.num_gates(), 2);
         assert_eq!(c.num_nets(), 4);
+    }
+
+    #[test]
+    fn digest_is_stable_and_separates_netlists() {
+        let c = half_adder();
+        assert_eq!(c.digest(), half_adder().digest(), "deterministic");
+        // A renamed circuit, a regated circuit, and a re-oriented gate all
+        // hash differently — the digest is the cache identity of the full
+        // netlist, not of its Boolean function.
+        let mut renamed = half_adder();
+        renamed.set_name("other");
+        assert_ne!(c.digest(), renamed.digest());
+        let mut b = CircuitBuilder::new("ha");
+        let a = b.input("a");
+        let x = b.input("b");
+        let s = b.gate("s", GateKind::Xor, &[a, x]).unwrap();
+        let cy = b.gate("c", GateKind::Or, &[a, x]).unwrap();
+        b.output(s);
+        b.output(cy);
+        assert_ne!(c.digest(), b.finish().unwrap().digest());
+        let mut b = CircuitBuilder::new("ha");
+        let a = b.input("a");
+        let x = b.input("b");
+        let s = b.gate("s", GateKind::Xor, &[x, a]).unwrap();
+        let cy = b.gate("c", GateKind::And, &[a, x]).unwrap();
+        b.output(s);
+        b.output(cy);
+        assert_ne!(c.digest(), b.finish().unwrap().digest(), "pin order counts");
     }
 
     #[test]

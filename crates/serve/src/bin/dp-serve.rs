@@ -1,0 +1,57 @@
+//! `dp-serve` — the resident sweep server.
+//!
+//! ```text
+//! dp-serve [--addr HOST:PORT] [--cache-bytes N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:4590`), prints the resolved address to
+//! stderr, and serves until a client sends `shutdown`.
+
+use dp_serve::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dp-serve [--addr HOST:PORT] [--cache-bytes N]\n\
+         --addr A         listen address (default 127.0.0.1:4590; port 0 = OS-assigned)\n\
+         --cache-bytes N  snapshot-cache byte budget (default 256 MiB)"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4590".to_string();
+    let mut config = ServerConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let (flag, inline) = match arg.split_once('=') {
+            Some((f, v)) => (f.to_string(), Some(v.to_string())),
+            None => (arg, None),
+        };
+        let mut value = |name: &str| -> String {
+            inline.clone().or_else(|| args.next()).unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--cache-bytes" => {
+                let v = value("--cache-bytes");
+                config.cache_bytes = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cache-bytes: `{v}` is not a number");
+                    usage()
+                });
+            }
+            _ => usage(),
+        }
+    }
+    let server = Server::bind(addr.as_str(), config).unwrap_or_else(|e| {
+        eprintln!("dp-serve: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("dp-serve: listening on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("dp-serve: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,353 @@
+//! The resident sweep server: a TCP accept loop, one handler thread per
+//! connection, one shared [`SnapshotCache`] behind a mutex.
+//!
+//! Requests stream their answers incrementally (see [`crate::protocol`]);
+//! the BDD work itself runs through [`dp_core::sweep_universe_ext`]'s warm
+//! path, so every request after the first for a `(circuit, order)` pair
+//! performs zero good-function builds — the acceptance criterion the
+//! `serve` integration tests pin with exact counter arithmetic.
+//!
+//! Snapshot builds happen *outside* the cache lock: a slow admission (tens
+//! of seconds on the deep surrogates) must not stall a concurrent request
+//! that would hit a resident entry.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dp_analysis::stuck_at_universe;
+use dp_core::{
+    summary_line, sweep_report, sweep_universe_ext, DiffProp, EngineConfig, FallbackConfig,
+    FaultSummary, ManagerMode, OrderStrategy, Parallelism, SweepConfig,
+};
+use dp_bdd::BudgetConfig;
+use dp_faults::{Fault, FaultSite, StuckAtFault};
+use dp_telemetry::json::JsonValue;
+use dp_telemetry::{report_to_json, StreamInfo};
+
+use crate::cache::{CacheEntry, CacheKey, SnapshotCache};
+use crate::protocol::{CircuitSpec, Frame, PointParams, Request, SweepParams};
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Snapshot-cache byte budget (default 256 MiB — roomy for every
+    /// builtin at several order strategies).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            cache_bytes: 256 << 20,
+        }
+    }
+}
+
+struct ServerState {
+    cache: Mutex<SnapshotCache>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A bound-but-not-yet-running server. [`Server::run`] blocks until a
+/// client sends `shutdown`.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener. Use port `0` to let the OS pick (tests do).
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            state: Arc::new(ServerState {
+                cache: Mutex::new(SnapshotCache::new(config.cache_bytes)),
+                shutdown: AtomicBool::new(false),
+                addr,
+            }),
+        })
+    }
+
+    /// The bound address (resolved port included).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Serves until a client sends `shutdown`, then joins every connection
+    /// handler before returning (in-flight sweeps finish their streams).
+    pub fn run(self) -> io::Result<()> {
+        let mut handlers = Vec::new();
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                // The wake-up connection a shutdown handler makes to
+                // unblock this accept — nothing to serve.
+                drop(stream);
+                break;
+            }
+            let state = Arc::clone(&self.state);
+            handlers.push(std::thread::spawn(move || handle_connection(stream, state)));
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
+    if let Err(e) = serve_connection(stream, &state) {
+        // A dropped client mid-stream is routine, not a server fault.
+        if e.kind() != io::ErrorKind::BrokenPipe && e.kind() != io::ErrorKind::ConnectionReset {
+            eprintln!("dp-serve: connection error: {e}");
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let quit = match Request::from_line(&line) {
+            Err(e) => {
+                send(&mut out, &Frame::Error {
+                    message: e.to_string(),
+                })?;
+                false
+            }
+            Ok(request) => handle_request(request, state, &mut out)?,
+        };
+        if quit {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+fn send(out: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    writeln!(out, "{}", frame.to_line())?;
+    out.flush()
+}
+
+/// Handles one request; `Ok(true)` means the connection (and server) is
+/// done. Request-level failures become `error` frames; only transport
+/// failures surface as `Err`.
+fn handle_request(
+    request: Request,
+    state: &ServerState,
+    out: &mut impl Write,
+) -> io::Result<bool> {
+    match request {
+        Request::Status => {
+            let status = state.cache.lock().unwrap().status();
+            send(out, &Frame::Status(status))?;
+        }
+        Request::Shutdown => {
+            send(out, &Frame::Bye)?;
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so it observes the flag.
+            let _ = TcpStream::connect(state.addr);
+            return Ok(true);
+        }
+        Request::Sweep { circuit, params } => match resolve_entry(
+            state,
+            &circuit,
+            params.order,
+            params.budget,
+        ) {
+            Err(message) => send(out, &Frame::Error { message })?,
+            Ok((entry, cache)) => stream_sweep(&entry, cache, &params, out)?,
+        },
+        Request::Detectability { circuit, point } | Request::Adherence { circuit, point } => {
+            match resolve_entry(state, &circuit, point.order, point.budget) {
+                Err(message) => send(out, &Frame::Error { message })?,
+                Ok((entry, cache)) => match point_value(&entry, cache, &point) {
+                    Err(message) => send(out, &Frame::Error { message })?,
+                    Ok(fields) => send(out, &Frame::Value(fields))?,
+                },
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Compiles the circuit and resolves its snapshot through the cache:
+/// lookup under the lock, build *outside* it on a miss, admit the result.
+/// Returns the entry and the cache disposition (`"hit"` / `"miss"`).
+fn resolve_entry(
+    state: &ServerState,
+    spec: &CircuitSpec,
+    order: OrderStrategy,
+    budget: BudgetConfig,
+) -> Result<(Arc<CacheEntry>, &'static str), String> {
+    let circuit = spec.compile()?;
+    let key = CacheKey {
+        digest: circuit.digest(),
+        order: order.name(),
+    };
+    if let Some(entry) = state.cache.lock().unwrap().lookup(&key) {
+        return Ok((entry, "hit"));
+    }
+    // Only successful builds are admitted: a budget-tripped build answers
+    // this request with an error and leaves the cache untouched.
+    let snapshot = DiffProp::build_snapshot(
+        &circuit,
+        EngineConfig {
+            order,
+            budget,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| format!("good-function snapshot build failed: {e}"))?;
+    let entry = Arc::new(CacheEntry { circuit, snapshot });
+    let entry = state.cache.lock().unwrap().admit(key, entry);
+    Ok((entry, "miss"))
+}
+
+/// Runs a warm-snapshot sweep, framing each summary as it clears the
+/// in-order reorder buffer, then the `done` frame with the schema-v2
+/// report (stream section filled in).
+fn stream_sweep(
+    entry: &CacheEntry,
+    cache: &'static str,
+    params: &SweepParams,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    let circuit = &entry.circuit;
+    let mut faults = stuck_at_universe(circuit, true);
+    if params.count > 0 {
+        faults.truncate(params.count);
+    }
+    let config = SweepConfig {
+        engine: EngineConfig {
+            order: params.order,
+            budget: params.budget,
+            ..Default::default()
+        },
+        parallelism: if params.threads <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Threads(params.threads)
+        },
+        fallback: FallbackConfig {
+            samples: params.fallback_samples,
+            ..Default::default()
+        },
+        collapse: params.collapse,
+        manager: ManagerMode::SharedSnapshot,
+        ..Default::default()
+    };
+    let mut records: u64 = 0;
+    let mut io_failure: Option<io::Error> = None;
+    let mut on_record = |index: usize, summary: &FaultSummary| {
+        if io_failure.is_some() {
+            return;
+        }
+        let frame = Frame::Record {
+            index,
+            line: summary_line(index, summary),
+        };
+        match send(out, &frame) {
+            Ok(()) => records += 1,
+            Err(e) => io_failure = Some(e),
+        }
+    };
+    let result = sweep_universe_ext(
+        circuit,
+        &faults,
+        &config,
+        Some(&entry.snapshot),
+        Some(&mut on_record),
+    );
+    if let Some(e) = io_failure {
+        return Err(e);
+    }
+    let mut report = sweep_report(circuit.name(), "stuck-at", &result);
+    report.stream = Some(StreamInfo {
+        frames: records + 1,
+        records,
+        skipped: faults.len() as u64 - records,
+        cache: cache.to_string(),
+    });
+    let stats = result.merged_stats();
+    send(out, &Frame::Done {
+        cache: cache.to_string(),
+        unique_lookups: stats.unique.lookups,
+        base_hits: stats.base_hits,
+        report: report_to_json(&report),
+    })
+}
+
+/// Answers a point query from a thawed delta manager over the cached
+/// snapshot: exact detectability, and adherence against the syndrome
+/// bound — the same arithmetic the sweep applies per fault.
+fn point_value(
+    entry: &CacheEntry,
+    cache: &'static str,
+    point: &PointParams,
+) -> Result<JsonValue, String> {
+    let circuit = &entry.circuit;
+    let net = circuit.find_net(&point.net).ok_or_else(|| {
+        format!("no net named `{}` in circuit `{}`", point.net, circuit.name())
+    })?;
+    let fault = Fault::StuckAt(StuckAtFault {
+        site: FaultSite::Net(net),
+        value: point.stuck_at,
+    });
+    let mut dp = DiffProp::from_snapshot(
+        circuit,
+        &entry.snapshot,
+        EngineConfig {
+            order: point.order,
+            budget: point.budget,
+            ..Default::default()
+        },
+    );
+    let analysis = dp.try_analyze(&fault).map_err(|e| e.to_string())?;
+    let bound = dp.detectability_bound(&fault);
+    let adherence = bound.and_then(|u| (u > 0.0).then(|| analysis.detectability / u));
+    let opt_f64 = |v: Option<f64>| v.map(JsonValue::Float).unwrap_or(JsonValue::Null);
+    let opt_bits = |v: Option<f64>| {
+        v.map(|x| JsonValue::Str(format!("{:016x}", x.to_bits())))
+            .unwrap_or(JsonValue::Null)
+    };
+    Ok(JsonValue::obj(vec![
+        ("cache", JsonValue::Str(cache.to_string())),
+        ("circuit", JsonValue::Str(circuit.name().to_string())),
+        ("fault", JsonValue::Str(fault.to_string())),
+        ("net", JsonValue::Str(point.net.clone())),
+        ("stuck_at", JsonValue::Int(i128::from(point.stuck_at))),
+        ("detectability", JsonValue::Float(analysis.detectability)),
+        (
+            "detectability_bits",
+            JsonValue::Str(format!("{:016x}", analysis.detectability.to_bits())),
+        ),
+        (
+            "test_count",
+            analysis
+                .test_count
+                .map(|c| JsonValue::Str(c.to_string()))
+                .unwrap_or(JsonValue::Null),
+        ),
+        (
+            "observable_outputs",
+            JsonValue::Int(analysis.num_observable() as i128),
+        ),
+        (
+            "site_function_constant",
+            JsonValue::Bool(analysis.site_function_constant),
+        ),
+        ("syndrome_bound", opt_f64(bound)),
+        ("adherence", opt_f64(adherence)),
+        ("adherence_bits", opt_bits(adherence)),
+    ]))
+}

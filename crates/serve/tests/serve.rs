@@ -1,0 +1,332 @@
+//! End-to-end tests against a real in-process server on a loopback port:
+//! golden stream/batch identity, snapshot-cache reuse (the zero-rebuild
+//! acceptance criterion), concurrency, and protocol error handling.
+
+use std::sync::Arc;
+use std::thread;
+
+use dp_analysis::stuck_at_universe;
+use dp_core::{
+    summary_line, sweep_universe, sweep_universe_ext, DiffProp, EngineConfig, OrderStrategy,
+    Parallelism, SweepConfig,
+};
+use dp_netlist::generators;
+use dp_serve::{CircuitSpec, Client, PointParams, Server, ServerConfig, SweepParams, WireSummary};
+use dp_telemetry::json::JsonValue;
+
+/// Starts a server on an OS-assigned loopback port; the returned guard
+/// shuts it down (and joins the accept loop) on drop.
+struct TestServer {
+    addr: std::net::SocketAddr,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl TestServer {
+    fn start() -> TestServer {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let addr = server.local_addr();
+        let handle = thread::spawn(move || server.run().expect("serve"));
+        TestServer {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    fn client(&self) -> Client {
+        Client::connect(self.addr).expect("connect")
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Ok(mut c) = Client::connect(self.addr) {
+            let _ = c.shutdown();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The batch TSV for the full collapsed stuck-at universe of a builtin.
+fn batch_tsv(name: &str, threads: usize) -> (Vec<String>, dp_core::SweepResult) {
+    let circuit = match name {
+        "c17" => generators::c17(),
+        "c95" => generators::c95(),
+        other => panic!("unexpected circuit {other}"),
+    };
+    let faults = stuck_at_universe(&circuit, true);
+    let sweep = sweep_universe(
+        &circuit,
+        &faults,
+        &SweepConfig {
+            parallelism: if threads <= 1 {
+                Parallelism::Serial
+            } else {
+                Parallelism::Threads(threads)
+            },
+            ..Default::default()
+        },
+    );
+    let lines = sweep
+        .summaries
+        .iter()
+        .enumerate()
+        .map(|(i, s)| summary_line(i, s))
+        .collect();
+    (lines, sweep)
+}
+
+fn sweep_lines(client: &mut Client, name: &str, threads: usize) -> (Vec<String>, dp_serve::SweepOutcome) {
+    let mut lines = Vec::new();
+    let outcome = client
+        .sweep(
+            CircuitSpec::Builtin(name.into()),
+            SweepParams {
+                threads,
+                ..Default::default()
+            },
+            |_, line| lines.push(line.to_string()),
+        )
+        .expect("sweep");
+    (lines, outcome)
+}
+
+#[test]
+fn streamed_sweep_is_byte_identical_to_batch_at_1_and_4_threads() {
+    let server = TestServer::start();
+    let (golden, _) = batch_tsv("c95", 1);
+    for threads in [1usize, 4] {
+        let mut client = server.client();
+        let (lines, outcome) = sweep_lines(&mut client, "c95", threads);
+        assert_eq!(
+            lines.join("\n"),
+            golden.join("\n"),
+            "streamed concatenation must reproduce the batch TSV at {threads} thread(s)"
+        );
+        assert_eq!(outcome.records as usize, golden.len());
+        assert_eq!(outcome.skipped, 0);
+    }
+}
+
+#[test]
+fn repeat_sweep_hits_the_cache_and_performs_zero_good_function_builds() {
+    let server = TestServer::start();
+    let mut client = server.client();
+    let (_, first) = sweep_lines(&mut client, "c95", 1);
+    assert_eq!(first.cache, "miss", "first request admits the snapshot");
+    let (_, second) = sweep_lines(&mut client, "c95", 1);
+    assert_eq!(second.cache, "hit", "repeat request reuses it");
+
+    // Thaw-only baseline: a local warm sweep over an identical snapshot.
+    // At one worker the claim order is deterministic, so the server's
+    // second request must match this exactly — the 1.05× acceptance bound
+    // is slack it does not need.
+    let circuit = generators::c95();
+    let faults = stuck_at_universe(&circuit, true);
+    let snapshot =
+        DiffProp::build_snapshot(&circuit, EngineConfig::default()).expect("unbudgeted build");
+    let warm = sweep_universe_ext(
+        &circuit,
+        &faults,
+        &SweepConfig::default(),
+        Some(&snapshot),
+        None,
+    );
+    let baseline = warm.merged_stats().unique.lookups;
+    assert!(baseline > 0);
+    assert!(
+        second.unique_lookups as f64 <= 1.05 * baseline as f64,
+        "cache-hit sweep must be thaw-only: {} lookups vs {} baseline",
+        second.unique_lookups,
+        baseline
+    );
+    // Both server requests ran warm (the miss built its snapshot at cache
+    // admission, outside the sweep), so their counters agree too.
+    assert_eq!(first.unique_lookups, second.unique_lookups);
+    assert_eq!(second.unique_lookups, baseline);
+
+    let status = client.status().expect("status");
+    assert_eq!(status.entries, 1);
+    assert_eq!(status.misses, 1, "one admission");
+    assert!(status.hits >= 1);
+    assert_eq!(status.evictions, 0);
+}
+
+#[test]
+fn concurrent_sweeps_against_one_cached_snapshot_stay_golden() {
+    let server = TestServer::start();
+    // Warm the cache once so both concurrent requests hit the same entry.
+    let (_, warmup) = sweep_lines(&mut server.client(), "c95", 1);
+    assert_eq!(warmup.cache, "miss");
+    let (golden, _) = batch_tsv("c95", 1);
+    let golden = Arc::new(golden);
+    let results: Vec<_> = (0..3)
+        .map(|_| {
+            let addr = server.addr;
+            let golden = Arc::clone(&golden);
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut lines = Vec::new();
+                let outcome = client
+                    .sweep(
+                        CircuitSpec::Builtin("c95".into()),
+                        SweepParams {
+                            threads: 2,
+                            ..Default::default()
+                        },
+                        |_, line| lines.push(line.to_string()),
+                    )
+                    .expect("sweep");
+                assert_eq!(outcome.cache, "hit", "all concurrent requests reuse the entry");
+                assert_eq!(lines.join("\n"), golden.join("\n"));
+            })
+        })
+        .collect();
+    for r in results {
+        r.join().expect("concurrent sweep");
+    }
+}
+
+#[test]
+fn record_order_is_strictly_ascending_and_indices_match() {
+    let server = TestServer::start();
+    let mut client = server.client();
+    let mut indices = Vec::new();
+    client
+        .sweep(
+            CircuitSpec::Builtin("c17".into()),
+            SweepParams {
+                threads: 3,
+                ..Default::default()
+            },
+            |i, line| {
+                indices.push(i);
+                let wire = WireSummary::parse(line).expect("wire line");
+                assert_eq!(wire.index, i, "frame index matches the line's own index");
+            },
+        )
+        .expect("sweep");
+    assert!(!indices.is_empty());
+    assert!(
+        indices.windows(2).all(|w| w[0] < w[1]),
+        "streamed records arrive in strict input order"
+    );
+}
+
+#[test]
+fn done_report_is_schema_valid_and_carries_the_stream_section() {
+    let server = TestServer::start();
+    let mut client = server.client();
+    let (lines, outcome) = sweep_lines(&mut client, "c17", 2);
+    let doc = outcome.report_document().to_pretty_string();
+    let parsed = dp_telemetry::parse_and_validate(&doc).expect("schema-valid streamed report");
+    let stream = parsed.get("reports").and_then(JsonValue::as_arr).unwrap()[0]
+        .get("stream")
+        .expect("stream section present");
+    assert_eq!(
+        stream.get("records").and_then(JsonValue::as_u64),
+        Some(lines.len() as u64)
+    );
+    assert_eq!(
+        stream.get("frames").and_then(JsonValue::as_u64),
+        Some(lines.len() as u64 + 1),
+        "frames = records + the done frame"
+    );
+    assert_eq!(stream.get("cache").and_then(JsonValue::as_str), Some("miss"));
+    assert!(outcome.classes() > 0);
+    assert_eq!(outcome.workers(), 2);
+}
+
+#[test]
+fn point_queries_agree_with_a_local_engine() {
+    let server = TestServer::start();
+    let mut client = server.client();
+    let circuit = generators::c17();
+    let faults = stuck_at_universe(&circuit, true);
+    // Pick a net-site fault so the query can address it by net name.
+    let (net, value) = faults
+        .iter()
+        .find_map(|f| match f {
+            dp_faults::Fault::StuckAt(s) => match s.site {
+                dp_faults::FaultSite::Net(n) => Some((n, s.value)),
+                _ => None,
+            },
+            _ => None,
+        })
+        .expect("a net-site fault");
+    let fault = dp_faults::Fault::StuckAt(dp_faults::StuckAtFault {
+        site: dp_faults::FaultSite::Net(net),
+        value,
+    });
+    let mut dp = DiffProp::new(&circuit);
+    let local = dp.analyze(&fault);
+    let bound = dp.detectability_bound(&fault);
+    let adherence = bound.and_then(|u| (u > 0.0).then(|| local.detectability / u));
+
+    let point = PointParams {
+        order: OrderStrategy::Identity,
+        budget: dp_core::BudgetConfig::UNLIMITED,
+        net: circuit.net_name(net).to_string(),
+        stuck_at: value,
+    };
+    for cmd_adherence in [false, true] {
+        let v = client
+            .point(
+                cmd_adherence,
+                CircuitSpec::Builtin("c17".into()),
+                point.clone(),
+            )
+            .expect("point query");
+        let bits = v
+            .get("detectability_bits")
+            .and_then(JsonValue::as_str)
+            .expect("bits field");
+        assert_eq!(
+            u64::from_str_radix(bits, 16).unwrap(),
+            local.detectability.to_bits(),
+            "exact detectability over the wire"
+        );
+        assert_eq!(
+            v.get("test_count").and_then(JsonValue::as_str),
+            local.test_count.map(|c| c.to_string()).as_deref()
+        );
+        let wire_adh = v.get("adherence_bits").and_then(JsonValue::as_str);
+        assert_eq!(
+            wire_adh.map(|s| u64::from_str_radix(s, 16).unwrap()),
+            adherence.map(f64::to_bits),
+            "exact adherence over the wire"
+        );
+    }
+    // The two point queries shared one snapshot admission.
+    let status = client.status().expect("status");
+    assert_eq!(status.misses, 1);
+    assert_eq!(status.hits, 1);
+}
+
+#[test]
+fn request_errors_keep_the_connection_usable() {
+    let server = TestServer::start();
+    let mut client = server.client();
+    let bad = client.sweep(
+        CircuitSpec::Builtin("c9999".into()),
+        SweepParams::default(),
+        |_, _| {},
+    );
+    assert!(bad.is_err(), "unknown builtin is a request error");
+    let bad_net = client.point(
+        false,
+        CircuitSpec::Builtin("c17".into()),
+        PointParams {
+            order: OrderStrategy::Identity,
+            budget: dp_core::BudgetConfig::UNLIMITED,
+            net: "no_such_net".into(),
+            stuck_at: false,
+        },
+    );
+    assert!(bad_net.is_err(), "unknown net is a request error");
+    // Same connection still answers real requests afterwards.
+    let (lines, outcome) = sweep_lines(&mut client, "c17", 1);
+    assert!(!lines.is_empty());
+    assert_eq!(outcome.skipped, 0);
+}

@@ -78,6 +78,46 @@ impl JsonValue {
         out
     }
 
+    /// Single-line serialisation with no intra-document newlines — the
+    /// framing format of the `dp-serve` wire protocol, where one JSON
+    /// document per line is the frame boundary. String escaping already
+    /// guarantees embedded newlines are written as `\n`, so the output is
+    /// newline-free by construction (and [`parse`] reads it back exactly).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+            // Scalars render identically in both modes.
+            scalar => scalar.write_pretty(out, 0),
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, depth: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -435,6 +475,21 @@ mod tests {
         let text = doc.to_pretty_string();
         let back = parse(&text).expect("round-trip parse");
         assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let doc = JsonValue::obj(vec![
+            ("line", JsonValue::Str("tab\there\nnewline".into())),
+            ("n", JsonValue::Int(-3)),
+            (
+                "nested",
+                JsonValue::obj(vec![("a", JsonValue::Arr(vec![JsonValue::Bool(false)]))]),
+            ),
+        ]);
+        let text = doc.to_compact_string();
+        assert!(!text.contains('\n'), "frame must be newline-free: {text:?}");
+        assert_eq!(parse(&text).expect("round-trip"), doc);
     }
 
     #[test]

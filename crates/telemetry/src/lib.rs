@@ -49,6 +49,7 @@ pub use collector::{
     SpanTimer, TelemetryLevel, TelemetrySnapshot,
 };
 pub use report::{
-    fnv1a64, key_paths, parse_and_validate, snapshot_to_json, validate_report, ReportFile,
-    ShardExecution, SweepExecution, SweepOutcome, SweepReport, SCHEMA_VERSION,
+    fnv1a64, key_paths, parse_and_validate, report_to_json, snapshot_to_json, validate_report,
+    ReportFile, ShardExecution, StreamInfo, SweepExecution, SweepOutcome, SweepReport,
+    KNOWN_SCHEMA_VERSIONS, SCHEMA_VERSION,
 };

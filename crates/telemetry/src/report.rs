@@ -20,7 +20,19 @@ use crate::collector::{CounterKind, HistKind, SpanKind, TelemetrySnapshot};
 use crate::json::{self, JsonValue};
 
 /// Current `sweep_report.json` schema version.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history:
+/// * **1** — initial schema: `result` + `execution` per report.
+/// * **2** — additive: a report may carry a `stream` section
+///   ([`StreamInfo`]) describing how its records were delivered
+///   incrementally (frame/record tallies, snapshot-cache disposition).
+///   Batch reports omit it, so every valid v1 document is also valid v2.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Schema versions [`validate_report`] accepts. v1 documents contain no
+/// `stream` sections but are otherwise identical, so the v2 validator reads
+/// them unchanged.
+pub const KNOWN_SCHEMA_VERSIONS: [u64; 2] = [1, 2];
 
 /// 64-bit FNV-1a. Used for the `summaries_fnv` digest so reports can assert
 /// cross-configuration result identity without embedding every summary.
@@ -87,6 +99,26 @@ pub struct SweepExecution {
     pub shards: Vec<ShardExecution>,
 }
 
+/// How a streamed sweep delivered its records (schema v2, additive).
+///
+/// Batch sweeps omit the section entirely; a server answering a `sweep`
+/// request fills it in so clients and CI can assert both the framing (all
+/// records delivered, none double-framed) and the cache behaviour (a repeat
+/// request must be a `hit`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamInfo {
+    /// Frames sent for the request, the terminating `done` frame included
+    /// (so `frames == records + 1` when every record travels alone).
+    pub frames: u64,
+    /// Per-fault records streamed, summed over frames.
+    pub records: u64,
+    /// Faults whose records were skipped (lost to a class panic).
+    pub skipped: u64,
+    /// Snapshot-cache disposition for the request: `"hit"` (thawed a cached
+    /// snapshot; zero good-function builds) or `"miss"` (built and cached).
+    pub cache: String,
+}
+
 /// One sweep's report: identity, invariant result, execution record.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepReport {
@@ -98,6 +130,9 @@ pub struct SweepReport {
     pub result: SweepOutcome,
     /// How it ran — timing-dependent.
     pub execution: SweepExecution,
+    /// How records were delivered, when streamed (`None` for batch runs;
+    /// the section is then absent from the JSON document).
+    pub stream: Option<StreamInfo>,
 }
 
 /// A `sweep_report.json` document: versioned envelope around one or more
@@ -137,12 +172,28 @@ impl ReportFile {
     }
 }
 
-fn report_to_json(r: &SweepReport) -> JsonValue {
-    JsonValue::obj(vec![
+/// One report as a JSON object — the payload a `dp-serve` `done` frame
+/// carries, so a client can re-wrap it in a [`ReportFile`] envelope and
+/// validate it with the same machinery as an on-disk document.
+pub fn report_to_json(r: &SweepReport) -> JsonValue {
+    let mut pairs = vec![
         ("circuit", JsonValue::Str(r.circuit.clone())),
         ("fault_model", JsonValue::Str(r.fault_model.clone())),
         ("result", outcome_to_json(&r.result)),
         ("execution", execution_to_json(&r.execution)),
+    ];
+    if let Some(stream) = &r.stream {
+        pairs.push(("stream", stream_to_json(stream)));
+    }
+    JsonValue::obj(pairs)
+}
+
+fn stream_to_json(s: &StreamInfo) -> JsonValue {
+    JsonValue::obj(vec![
+        ("frames", JsonValue::Int(s.frames as i128)),
+        ("records", JsonValue::Int(s.records as i128)),
+        ("skipped", JsonValue::Int(s.skipped as i128)),
+        ("cache", JsonValue::Str(s.cache.clone())),
     ])
 }
 
@@ -241,9 +292,9 @@ pub fn snapshot_to_json(snap: &TelemetrySnapshot) -> JsonValue {
 /// members (additive evolution is allowed within a version).
 pub fn validate_report(doc: &JsonValue) -> Result<(), String> {
     let version = require_u64(doc, "schema_version", "$")?;
-    if version != SCHEMA_VERSION {
+    if !KNOWN_SCHEMA_VERSIONS.contains(&version) {
         return Err(format!(
-            "unknown schema_version {version} (this validator knows version {SCHEMA_VERSION})"
+            "unknown schema_version {version} (this validator knows versions {KNOWN_SCHEMA_VERSIONS:?})"
         ));
     }
     require_str(doc, "tool", "$")?;
@@ -288,6 +339,23 @@ pub fn validate_report(doc: &JsonValue) -> Result<(), String> {
             require_u64(shard, "busy_nanos", &sat)?;
             let tele = require_obj(shard, "telemetry", &sat)?;
             validate_snapshot(tele, &format!("{sat}.telemetry"))?;
+        }
+
+        // `stream` is optional (batch reports omit it) but strict when
+        // present — and present is legal even in a v1 document, since v1
+        // tolerates additive members.
+        if report.get("stream").is_some() {
+            let stream = require_obj(report, "stream", &at)?;
+            let tat = format!("{at}.stream");
+            require_u64(stream, "frames", &tat)?;
+            require_u64(stream, "records", &tat)?;
+            require_u64(stream, "skipped", &tat)?;
+            match require_str(stream, "cache", &tat)? {
+                "hit" | "miss" => {}
+                other => {
+                    return Err(format!("{tat}.cache: expected \"hit\" or \"miss\", got {other:?}"))
+                }
+            }
         }
     }
     Ok(())
@@ -446,6 +514,7 @@ mod tests {
                         telemetry: snap,
                     }],
                 },
+                stream: None,
             }],
         }
     }
@@ -465,6 +534,42 @@ mod tests {
         }
         let err = validate_report(&file).unwrap_err();
         assert!(err.contains("unknown schema_version"), "{err}");
+    }
+
+    #[test]
+    fn validator_accepts_every_known_version() {
+        // v1 documents are identical minus the optional stream section; the
+        // v2 validator must keep reading them.
+        for version in KNOWN_SCHEMA_VERSIONS {
+            let mut file = sample_file().to_json();
+            if let JsonValue::Obj(pairs) = &mut file {
+                pairs[0].1 = JsonValue::Int(version as i128);
+            }
+            validate_report(&file).unwrap_or_else(|e| panic!("version {version}: {e}"));
+        }
+    }
+
+    #[test]
+    fn stream_section_round_trips_and_is_strict() {
+        let mut file = sample_file();
+        file.reports[0].stream = Some(StreamInfo {
+            frames: 5,
+            records: 10,
+            skipped: 0,
+            cache: "hit".into(),
+        });
+        let text = file.to_pretty_string();
+        assert!(text.contains("\"stream\""));
+        parse_and_validate(&text).expect("streamed report must validate");
+        // A cache disposition outside {hit, miss} is a framing bug.
+        let bad = text.replace("\"hit\"", "\"warm\"");
+        let err = parse_and_validate(&bad).unwrap_err();
+        assert!(err.contains("stream.cache"), "{err}");
+        // Batch reports omit the section and still validate (see
+        // emitted_reports_validate_and_round_trip), and omission keeps the
+        // key-path shape of v1 documents unchanged.
+        let batch_paths = key_paths(&sample_file().to_json());
+        assert!(!batch_paths.iter().any(|p| p.contains("stream")));
     }
 
     #[test]

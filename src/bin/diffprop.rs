@@ -6,6 +6,7 @@
 //! diffprop atpg       <circuit>            compact test set + redundancy report
 //! diffprop redundancy <circuit>            prove every net fault detectable or not
 //! diffprop bridges    <circuit> [N]        NFBF study with N sampled faults per kind
+//! diffprop serve      [HOST:PORT]          resident sweep server (see dp-serve)
 //! ```
 //!
 //! `<circuit>` is a built-in benchmark name (`c17`, `full_adder`, `c95`,
@@ -41,11 +42,18 @@
 //!   propagation passes (default 8; `1` disables fusion). Execution-only:
 //!   rows are identical at every batch size.
 //!
+//! * `--connect ADDR` routes `analyze` through a running `diffprop serve`
+//!   (or `dp-serve`) instead of sweeping locally: the server streams the
+//!   per-fault records back over TCP and this client re-renders them.
+//!   Stdout is byte-identical to the batch run; the win is that the server
+//!   keeps the good-function snapshot cached, so repeat analyses skip the
+//!   build entirely.
+//!
 //! Without `--node-budget` every analysis is exact and the output is
 //! identical to the unbudgeted engine's.
 
 use diffprop::analysis::{
-    analyze_faults, bridging_universe, records_from_sweep, stuck_at_universe, Histogram,
+    analyze_faults, bridging_universe, records_from_summaries, stuck_at_universe, Histogram,
 };
 use diffprop::core::{
     find_redundancies, generate_tests, sweep_report, sweep_universe, BudgetConfig, EngineConfig,
@@ -81,7 +89,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: diffprop <stats|analyze|atpg|redundancy|bridges> <circuit> [n] \
          [--node-budget N] [--fallback-samples N] [--threads N] [--no-collapse] [--telemetry PATH]\n\
-         [--order identity|fanin-dfs|interleave|auto]\n\
+         [--order identity|fanin-dfs|interleave|auto] [--connect ADDR]\n\
+         or:    diffprop serve [HOST:PORT] [--cache-bytes N]\n\
          circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench\n\
          --node-budget N       cap BDD nodes per analysis; over-budget faults degrade to\n\
                                sampled simulation estimates (analyze command)\n\
@@ -96,7 +105,10 @@ fn usage() -> ! {
          --manager M           shared (default) = workers extend one frozen good-function\n\
                                snapshot; private = per-worker rebuild. Rows are identical\n\
          --batch N             max cone-disjoint faults fused per propagation pass\n\
-                               (default 8, 1 disables fusion; rows are identical)"
+                               (default 8, 1 disables fusion; rows are identical)\n\
+         --connect ADDR        run `analyze` through a resident sweep server instead of\n\
+                               sweeping locally (stdout is byte-identical to the batch run)\n\
+         --cache-bytes N       snapshot-cache byte budget for `serve` (default 256 MiB)"
     );
     std::process::exit(2);
 }
@@ -111,6 +123,8 @@ struct Opts {
     order: OrderStrategy,
     manager: ManagerMode,
     batch: usize,
+    connect: Option<String>,
+    cache_bytes: Option<usize>,
 }
 
 impl Opts {
@@ -143,6 +157,8 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
         order: OrderStrategy::Identity,
         manager: ManagerMode::default(),
         batch: SweepConfig::default().batch,
+        connect: None,
+        cache_bytes: None,
     };
     let mut it = raw.into_iter();
     while let Some(arg) = it.next() {
@@ -209,6 +225,14 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
                     usage()
                 }
             }
+            "--connect" => opts.connect = Some(value("--connect")),
+            "--cache-bytes" => {
+                let v = value("--cache-bytes");
+                opts.cache_bytes = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("--cache-bytes: `{v}` is not a number");
+                    usage()
+                }));
+            }
             f if f.starts_with("--") => {
                 eprintln!("unknown option {f}");
                 usage()
@@ -221,9 +245,16 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
 
 fn main() {
     let (args, opts) = parse_args(std::env::args().skip(1).collect());
-    let (cmd, target) = match (args.first(), args.get(1)) {
-        (Some(c), Some(t)) => (c.as_str(), t.as_str()),
-        _ => usage(),
+    let Some(cmd) = args.first().map(String::as_str) else {
+        usage()
+    };
+    if cmd == "serve" {
+        let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:4590");
+        serve(addr, &opts);
+        return;
+    }
+    let Some(target) = args.get(1).map(String::as_str) else {
+        usage()
     };
     let n: usize = args
         .get(2)
@@ -233,11 +264,30 @@ fn main() {
 
     match cmd {
         "stats" => stats(&circuit),
-        "analyze" => analyze(&circuit, if n == 0 { 20 } else { n }, &opts),
+        "analyze" => match &opts.connect {
+            Some(addr) => analyze_connect(&circuit, target, if n == 0 { 20 } else { n }, &opts, addr),
+            None => analyze(&circuit, if n == 0 { 20 } else { n }, &opts),
+        },
         "atpg" => atpg(&circuit),
         "redundancy" => redundancy(&circuit),
         "bridges" => bridges(&circuit, if n == 0 { 200 } else { n }),
         _ => usage(),
+    }
+}
+
+fn serve(addr: &str, opts: &Opts) {
+    let mut config = diffprop::serve::ServerConfig::default();
+    if let Some(bytes) = opts.cache_bytes {
+        config.cache_bytes = bytes;
+    }
+    let server = diffprop::serve::Server::bind(addr, config).unwrap_or_else(|e| {
+        eprintln!("cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("diffprop: serving on {}", server.local_addr());
+    if let Err(e) = server.run() {
+        eprintln!("diffprop serve: {e}");
+        std::process::exit(1);
     }
 }
 
@@ -309,11 +359,90 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
             }
         }
     }
+    print_analysis(circuit, &faults, &sweep.summaries, fallback.samples);
+}
+
+/// Runs `analyze` through a resident sweep server. The server streams one
+/// TSV record per fault; this function parses them back into summaries and
+/// feeds the same print path as the batch run, so stdout is byte-identical.
+fn analyze_connect(circuit: &Circuit, target: &str, n: usize, opts: &Opts, addr: &str) {
+    use diffprop::serve::{Client, CircuitSpec, SweepParams, WireSummary};
+
+    let spec = CircuitSpec::from_arg(target).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    });
+    // The fault list is derived locally from the identical circuit — the
+    // wire carries indices into it, not fault descriptions.
+    let mut faults = stuck_at_universe(circuit, true);
+    faults.truncate(n);
+    let mut client = Client::connect(addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let params = SweepParams {
+        order: opts.order,
+        count: n,
+        collapse: opts.collapse,
+        threads: opts.threads,
+        fallback_samples: opts.fallback_samples,
+        budget: opts.budget(),
+    };
+    let mut lines: Vec<(usize, String)> = Vec::new();
+    let outcome = client
+        .sweep(spec, params, |index, line| {
+            lines.push((index, line.to_string()));
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("sweep via {addr} failed: {e}");
+            std::process::exit(1);
+        });
+    let mut kept = Vec::with_capacity(lines.len());
+    let mut summaries = Vec::with_capacity(lines.len());
+    for (index, line) in &lines {
+        let wire = WireSummary::parse(line).unwrap_or_else(|e| {
+            eprintln!("malformed record from {addr}: {e}");
+            std::process::exit(1);
+        });
+        kept.push(faults[*index]);
+        summaries.push(wire.into_summary(faults[*index]));
+    }
+    eprintln!(
+        "{} faults in {} equivalence classes over {} worker(s)",
+        faults.len(),
+        outcome.classes(),
+        outcome.workers()
+    );
+    eprintln!(
+        "server cache {}: {} unique lookups, {} resolved by the frozen base",
+        outcome.cache, outcome.unique_lookups, outcome.base_hits
+    );
+    if let Some(path) = &opts.telemetry_path {
+        match std::fs::write(path, outcome.report_document().to_pretty_string()) {
+            Ok(()) => eprintln!("telemetry report written to {path}"),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    print_analysis(circuit, &kept, &summaries, opts.fallback_samples);
+}
+
+/// The `analyze` output: per-fault rows, the outcome tally, and the
+/// detectability histogram. Shared by the local sweep and the `--connect`
+/// client so the two paths cannot drift apart.
+fn print_analysis(
+    circuit: &Circuit,
+    faults: &[diffprop::faults::Fault],
+    summaries: &[diffprop::core::FaultSummary],
+    fallback_samples: u64,
+) {
     println!(
         "{:<28} {:>10} {:>12} {:>10} {:>6} {:>8}",
         "fault", "det prob", "exact tests", "adherence", "POs", "outcome"
     );
-    for s in &sweep.summaries {
+    for s in summaries {
         let adh = s
             .adherence
             .map_or_else(|| "-".into(), |x| format!("{x:.4}"));
@@ -328,19 +457,19 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
             if s.outcome.is_exact() { "exact" } else { "bounded" }
         );
     }
-    let bounded = sweep.num_bounded();
+    let bounded = summaries.iter().filter(|s| !s.outcome.is_exact()).count();
     println!(
         "\noutcomes: {} exact, {} bounded",
-        sweep.summaries.len() - bounded,
+        summaries.len() - bounded,
         bounded
     );
     if bounded > 0 {
         println!(
             "(bounded rows are estimates over {} random vectors; raise --node-budget for exact results)",
-            fallback.samples.div_ceil(64) * 64
+            fallback_samples.div_ceil(64) * 64
         );
     }
-    let records = records_from_sweep(circuit, &faults, &sweep);
+    let records = records_from_summaries(circuit, faults, summaries);
     println!("\ndetectability profile:");
     print!("{}", Histogram::from_values(15, records.iter().map(|r| r.detectability)));
 }

@@ -86,6 +86,49 @@ fn assert_stats_consistent(sweep: &SweepResult) {
     }
 }
 
+/// Two poisoned classes at distant queue positions in one worker's queue:
+/// the old `Option<String>` shard field kept only the first panic message,
+/// so the second death was invisible. `ShardReport::panics` must record
+/// both class ids with their messages, and neither as the unattributed
+/// worker-level sentinel.
+#[test]
+fn every_panicked_class_is_reported() {
+    use diffprop::core::WORKER_PANIC;
+    use diffprop::netlist::generators::alu74181;
+
+    let circuit = random_circuit(
+        7,
+        RandomCircuitConfig {
+            inputs: 4,
+            gates: 12,
+            max_fanin: 3,
+        },
+    );
+    let mut faults = mixed_universe(&circuit);
+    let healthy = faults.len();
+    // Faults referencing nets of a *different* circuit panic the engine
+    // (index out of bounds) — one at each end of the queue, so a serial
+    // sweep sees the second panic long after the first.
+    let alu = alu74181();
+    let mut foreign = checkpoint_faults(&alu);
+    let f1 = Fault::from(foreign.pop().expect("alu has faults"));
+    let f2 = Fault::from(foreign.pop().expect("alu has more faults"));
+    faults.insert(0, f1);
+    faults.push(f2);
+
+    let sweep = analyze_universe(&circuit, &faults, EngineConfig::default(), Parallelism::Serial);
+    assert!(!sweep.is_complete());
+    let panics = sweep.panicked_classes();
+    assert_eq!(panics.len(), 2, "both poisoned classes reported: {panics:?}");
+    assert_ne!(panics[0].0, panics[1].0, "distinct class ids");
+    for (id, msg) in panics {
+        assert_ne!(*id, WORKER_PANIC, "panic attributed to its class");
+        assert!(!msg.is_empty(), "panic message captured");
+    }
+    // Every healthy fault still has its summary.
+    assert_eq!(sweep.summaries.len(), healthy);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
