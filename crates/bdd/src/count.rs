@@ -5,9 +5,8 @@
 //! input vectors that detect it. Both reduce to counting satisfying
 //! assignments of an OBDD over all primary-input variables.
 
-use std::collections::HashMap;
-
 use crate::manager::{Manager, NodeId};
+use crate::table::CompactMap;
 
 impl Manager {
     /// Exact number of satisfying assignments of `f` over all
@@ -31,14 +30,16 @@ impl Manager {
     pub fn sat_count(&self, f: NodeId) -> u128 {
         let n = self.num_vars() as u32;
         assert!(n <= 127, "sat_count overflows u128 beyond 127 variables; use density");
-        let mut memo: HashMap<NodeId, u128> = HashMap::new();
+        let mut memo: CompactMap<u128> = CompactMap::new();
         self.count_below(f, 0, n, &mut memo)
     }
 
     /// Counts assignments of the variables at levels `level..n` that satisfy
     /// the subfunction rooted at `f` (whose top level is ≥ `level`).
     ///
-    /// The memo is keyed on *regular* edges: a complemented edge counts as
+    /// The memo is keyed on *regular* edges (raw edge words in a
+    /// [`CompactMap`] — non-terminal regular edges are never 0 or 1, and
+    /// never the map's `u32::MAX` sentinel): a complemented edge counts as
     /// the complement of its node's count (`2^(n-flevel) - c`), which is
     /// exact in integers, so `f` and `¬f` share every memo entry.
     fn count_below(
@@ -46,7 +47,7 @@ impl Manager {
         f: NodeId,
         level: u32,
         n: u32,
-        memo: &mut HashMap<NodeId, u128>,
+        memo: &mut CompactMap<u128>,
     ) -> u128 {
         let flevel = self.node_level(f).min(n);
         let free = flevel - level; // variables skipped above f's own level
@@ -58,14 +59,14 @@ impl Manager {
             }
         } else {
             let reg = f.regular();
-            let c = if let Some(&c) = memo.get(&reg) {
+            let c = if let Some(c) = memo.get(reg.0) {
                 c
             } else {
                 let next = self.node_level(reg) + 1;
                 let lo = self.count_below(self.node_lo(reg), next, n, memo);
                 let hi = self.count_below(self.node_hi(reg), next, n, memo);
                 let c = lo + hi;
-                memo.insert(reg, c);
+                memo.insert(reg.0, c);
                 c
             };
             if f.is_complemented() {
@@ -95,7 +96,7 @@ impl Manager {
     /// assert_eq!(m.density(f), 0.25);
     /// ```
     pub fn density(&self, f: NodeId) -> f64 {
-        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let mut memo: CompactMap<f64> = CompactMap::new();
         self.density_rec(f, &mut memo)
     }
 
@@ -104,18 +105,21 @@ impl Manager {
     /// the child accessors fold complements, so this recursion performs the
     /// exact same floating-point operations on `f`'s virtual ROBDD as the
     /// pre-complement-edge implementation did — bit-identical results for
-    /// any variable count, not just the dyadic-exact small circuits.
-    fn density_rec(&self, f: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+    /// any variable count, not just the dyadic-exact small circuits. (A memo
+    /// hit always returns exactly the value a recompute would, so the switch
+    /// to [`CompactMap`] — which never misses a present key — keeps that
+    /// bit-identity too.)
+    fn density_rec(&self, f: NodeId, memo: &mut CompactMap<f64>) -> f64 {
         if f.is_terminal() {
             return if f.is_true() { 1.0 } else { 0.0 };
         }
-        if let Some(&d) = memo.get(&f) {
+        if let Some(d) = memo.get(f.0) {
             return d;
         }
         let lo = self.density_rec(self.node_lo(f), memo);
         let hi = self.density_rec(self.node_hi(f), memo);
         let d = 0.5 * (lo + hi);
-        memo.insert(f, d);
+        memo.insert(f.0, d);
         d
     }
 

@@ -41,6 +41,7 @@ mod order;
 mod reorder;
 mod snapshot;
 mod stats;
+mod table;
 
 pub use budget::BudgetConfig;
 pub use cubes::{Cube, Cubes, Minterms};

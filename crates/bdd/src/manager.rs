@@ -24,15 +24,14 @@
 //! `F(n) = ite(var, F(node_hi(n)), F(node_lo(n)))` holds verbatim and
 //! generic traversals stay correct without knowing about complements.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 use crate::budget::BudgetConfig;
 use crate::error::BddError;
-use crate::ops::OpKey;
 use crate::snapshot::{FrozenBase, FrozenManager};
 use crate::stats::ManagerStats;
+use crate::table::{OpCache, UniqueTable, DEFAULT_OP_CACHE_CAPACITY};
 
 /// A variable index in `0..num_vars`.
 ///
@@ -155,8 +154,8 @@ pub struct Manager {
     /// delta. `None` for ordinary (private) managers.
     base: Option<Arc<FrozenBase>>,
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<Node, NodeId>,
-    pub(crate) op_cache: HashMap<OpKey, NodeId>,
+    pub(crate) unique: UniqueTable,
+    pub(crate) op_cache: OpCache,
     /// `var_to_level[v]` is the position of variable `v` in the order.
     var_to_level: Vec<u32>,
     /// `level_to_var[l]` is the variable sitting at position `l`.
@@ -183,8 +182,8 @@ impl Manager {
         let mut m = Manager {
             base: None,
             nodes: Vec::with_capacity(1024),
-            unique: HashMap::new(),
-            op_cache: HashMap::new(),
+            unique: UniqueTable::with_capacity(1024),
+            op_cache: OpCache::with_capacity(DEFAULT_OP_CACHE_CAPACITY),
             var_to_level: (0..num_vars as u32).collect(),
             level_to_var: (0..num_vars as u32).collect(),
             stats: ManagerStats::default(),
@@ -262,8 +261,8 @@ impl Manager {
             level_to_var: base.level_to_var.clone(),
             base: Some(base),
             nodes: Vec::new(),
-            unique: HashMap::new(),
-            op_cache: HashMap::new(),
+            unique: UniqueTable::with_capacity(64),
+            op_cache: OpCache::with_capacity(DEFAULT_OP_CACHE_CAPACITY),
             stats: ManagerStats::default(),
             budget: BudgetConfig::UNLIMITED,
             op_steps: 0,
@@ -461,17 +460,18 @@ impl Manager {
         // Two-level lookup: the frozen base first (immutable, so a present
         // node is always a hit), then the private delta table. Each probe
         // resolves against exactly one table, keeping
-        // `unique.lookups == base_hits + delta_lookups`.
+        // `unique.lookups == base_hits + delta_lookups`. Both tables store
+        // only arena indices; key comparison reads the arena in place.
+        let base_len = self.base_len();
         let base_hit = self
             .base
             .as_ref()
-            .and_then(|base| base.unique.get(&node))
-            .copied();
+            .and_then(|base| base.unique.get(&node, &base.nodes, 0));
         let id = if let Some(id) = base_hit {
             self.stats.unique.hit();
             self.stats.base_hits += 1;
             id
-        } else if let Some(&id) = self.unique.get(&node) {
+        } else if let Some(id) = self.unique.get(&node, &self.nodes, base_len) {
             self.stats.unique.hit();
             self.stats.delta_lookups += 1;
             id
@@ -486,11 +486,16 @@ impl Manager {
             }
             self.stats.unique.miss();
             self.stats.delta_lookups += 1;
-            let id = NodeId::from_index(self.num_nodes());
+            let index = self.num_nodes();
             self.nodes.push(node);
-            self.unique.insert(node, id);
+            self.unique.insert(index, &node, &self.nodes, base_len);
             self.stats.peak_nodes = self.stats.peak_nodes.max(self.num_nodes());
-            id
+            // Keep the lossy op cache tracking the arena (base included —
+            // delta recursions memoise base triples too): a memo much
+            // smaller than the live table thrashes apply into super-linear
+            // recompute.
+            self.op_cache.maybe_grow(index + 1);
+            NodeId::from_index(index)
         };
         if flip {
             id.complemented()
@@ -676,6 +681,60 @@ impl Manager {
         self.stats.reset_op_counters();
     }
 
+    /// Pre-sizes the (private/delta) unique table for `expected` total nodes
+    /// so that building up to that many allocates no intermediate tables —
+    /// the "rehash storm" killer for circuit-sized workloads whose node count
+    /// is roughly known up front. Never shrinks; contents are untouched.
+    pub fn reserve_nodes(&mut self, expected: usize) {
+        let base_len = self.base_len();
+        self.unique.reserve(expected, &self.nodes, base_len);
+    }
+
+    /// Slots currently allocated by the (private/delta) unique table — a
+    /// memory-accounting figure, not an entry count.
+    pub fn unique_table_capacity(&self) -> usize {
+        self.unique.capacity()
+    }
+
+    /// Replaces the operation cache with an empty one of `capacity` slots
+    /// (rounded up to a power of two, floor 1024). The cache is direct-mapped
+    /// and lossy, so capacity is a pure speed/memory dial: larger caches
+    /// evict less and recompute less, smaller ones bound memory harder.
+    /// The value is a starting point, not a ceiling — the kernel doubles
+    /// the cache as the node arena outgrows it (bounded by an internal hard
+    /// cap), because a memo much smaller than the live table degrades
+    /// apply-style recursions to super-linear recompute.
+    /// Counters behave as for [`Manager::clear_op_cache`].
+    pub fn set_op_cache_capacity(&mut self, capacity: usize) {
+        self.op_cache = OpCache::with_capacity(capacity);
+        self.stats.reset_op_counters();
+    }
+
+    /// Slots in the operation cache right now (the cache grows with the
+    /// node arena; see [`Manager::set_op_cache_capacity`]).
+    pub fn op_cache_capacity(&self) -> usize {
+        self.op_cache.capacity()
+    }
+
+    /// Public, budget-checked `mk`: the canonical edge for `(var, lo, hi)`
+    /// under the current order. Exposed for white-box kernel tests (the
+    /// differential shadow-table proptest) and benchmarks that need to drive
+    /// the unique table directly, bypassing the operation layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` is out of range, or if either child edge sits at or
+    /// above `var`'s level (which would break the ordering invariant).
+    pub fn make_node(&mut self, var: Var, lo: NodeId, hi: NodeId) -> NodeId {
+        assert!((var as usize) < self.num_vars(), "variable out of range");
+        let level = self.var_to_level[var as usize];
+        assert!(
+            self.node_level(lo) > level && self.node_level(hi) > level,
+            "make_node children must sit strictly below the decision variable"
+        );
+        self.mk(var, lo, hi)
+    }
+
     /// Checks the complement-edge canonical form over the whole node table
     /// (debug/test aid):
     ///
@@ -708,15 +767,16 @@ impl Manager {
             // the frozen slots, the delta the rest (never duplicating a base
             // node, because mk probes the base first).
             let id = if i < base_len {
-                self.base.as_ref().unwrap().unique.get(&node)
+                let base = self.base.as_ref().unwrap();
+                base.unique.get(&node, &base.nodes, 0)
             } else {
                 assert!(
                     self.base
                         .as_ref()
-                        .is_none_or(|b| !b.unique.contains_key(&node)),
+                        .is_none_or(|b| b.unique.get(&node, &b.nodes, 0).is_none()),
                     "delta node {i} duplicates a base node"
                 );
-                self.unique.get(&node)
+                self.unique.get(&node, &self.nodes, base_len)
             }
             .unwrap_or_else(|| panic!("node {i} missing from the unique table"));
             assert_eq!(
@@ -824,10 +884,14 @@ impl Manager {
             }
         }
         self.nodes = new_nodes;
+        // Rebuild the unique table in place: clear keeps the allocation, so
+        // the rebuild is a straight re-insertion pass with no rehash storms
+        // (the surviving set is never larger than the pre-gc set).
         self.unique.clear();
         let keep_from = if base_len == 0 { 1 } else { 0 };
-        for (i, node) in self.nodes.iter().enumerate().skip(keep_from) {
-            self.unique.insert(*node, NodeId::from_index(base_len + i));
+        for i in keep_from..self.nodes.len() {
+            let node = self.nodes[i];
+            self.unique.insert(base_len + i, &node, &self.nodes, base_len);
         }
         self.op_cache.clear();
         self.stats.reset_op_counters();

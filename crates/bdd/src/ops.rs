@@ -243,7 +243,7 @@ impl Manager {
             h = h.complemented();
         }
         let key = OpKey::Ite(f, g, h);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.op_cache.get(&key) {
             self.stats[kind].hit();
             return if flip { r.complemented() } else { r };
         }
@@ -312,7 +312,7 @@ impl Manager {
             return f;
         }
         let key = OpKey::Restrict(f, v, value);
-        if let Some(&r) = self.op_cache.get(&key) {
+        if let Some(r) = self.op_cache.get(&key) {
             self.stats[OpKind::Restrict].hit();
             return r;
         }
@@ -347,7 +347,7 @@ impl Manager {
         let flip = f.is_complemented();
         let f = f.regular();
         let key = OpKey::Compose(f, v, g);
-        let r = if let Some(&r) = self.op_cache.get(&key) {
+        let r = if let Some(r) = self.op_cache.get(&key) {
             self.stats[OpKind::Compose].hit();
             r
         } else {
@@ -419,7 +419,7 @@ impl Manager {
             } else {
                 OpKey::Forall(f, mask)
             };
-            if let Some(&r) = self.op_cache.get(&key) {
+            if let Some(r) = self.op_cache.get(&key) {
                 self.stats[kind].hit();
                 return r;
             }

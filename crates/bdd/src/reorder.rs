@@ -11,8 +11,17 @@
 //! thus its id) while its decision variable and children change; the
 //! functions represented are untouched. See the module tests for the
 //! function-preservation properties.
-
-use std::collections::HashSet;
+//!
+//! Swaps rewrite *every* node of the moving variable — dead ones included,
+//! because the arena has no free list and the level invariant must hold
+//! for every stored node. Each dead rewrite allocates fresh cofactor
+//! nodes, so garbage begets garbage: left unchecked, a full sift grows the
+//! arena *exponentially* in the number of swaps (observed: 1.4M
+//! allocations sifting a 1.2k-node table). [`Manager::sift_compacting`]
+//! interleaves garbage collections into the walk to keep the arena within
+//! a constant factor of the live size; the plain [`Manager::sift`] keeps
+//! the historical id-stable contract for callers that hold node ids across
+//! the call and accept the garbage.
 
 use crate::manager::{Manager, NodeId, Var};
 
@@ -79,15 +88,22 @@ impl Manager {
             let lo = self.mk_raw(u, f00, f10);
             debug_assert!(!hi.is_complemented(), "swap lost the hi-edge invariant");
             debug_assert_ne!(hi, lo, "a v-dependent node cannot lose v");
+            // Order matters against the arena-keyed table: removal resolves
+            // its probe chain by reading node contents out of the arena, so
+            // the old entry must leave the table while `nodes[idx]` still
+            // holds the old contents — only then may the slot be rewritten
+            // and re-inserted under its new identity. (Reorder is rejected on
+            // frozen-base managers, so the table offset is always 0 here.)
             let old = self.nodes[idx];
-            self.unique.remove(&old);
+            let removed = self.unique.remove(&old, &self.nodes, 0);
+            debug_assert!(removed, "swapped node was missing from the unique table");
             let new = crate::manager::Node { var: v, lo, hi };
             self.nodes[idx] = new;
-            let displaced = self.unique.insert(new, NodeId::from_index(idx));
             debug_assert!(
-                displaced.is_none(),
+                self.unique.get(&new, &self.nodes, 0).is_none(),
                 "level swap produced a duplicate node; canonicity violated"
             );
+            self.unique.insert(idx, &new, &self.nodes, 0);
         }
 
         self.swap_order_entries(level);
@@ -119,18 +135,22 @@ impl Manager {
     /// Number of internal nodes reachable from `roots` (the live size —
     /// the quantity sifting minimises).
     pub fn live_size(&self, roots: &[NodeId]) -> usize {
-        // Dedup by node index: an edge and its complement share one node.
-        let mut seen: HashSet<usize> = HashSet::new();
+        // Dedup by node index (an edge and its complement share one node)
+        // via a dense seen-vector: this walk runs once per candidate
+        // position during sifting, and a byte per arena slot beats hashing.
+        let mut seen = vec![false; self.num_nodes()];
+        let mut count = 0;
         let mut stack: Vec<NodeId> = roots.to_vec();
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x.index()) {
+            if x.is_terminal() || std::mem::replace(&mut seen[x.index()], true) {
                 continue;
             }
+            count += 1;
             let node = self.node_at(x.index());
             stack.push(node.lo);
             stack.push(node.hi);
         }
-        seen.len()
+        count
     }
 
     /// Rudell's sifting: each variable in turn is moved through every level
@@ -162,6 +182,26 @@ impl Manager {
     /// # Ok::<(), dp_bdd::BddError>(())
     /// ```
     pub fn sift(&mut self, roots: &[NodeId]) -> usize {
+        let mut roots = roots.to_vec();
+        self.sift_walk(&mut roots, false)
+    }
+
+    /// [`Manager::sift`] with garbage collections interleaved into the
+    /// walk: whenever the arena has outgrown a small multiple of the live
+    /// size, dead nodes are collected before the next swap. This caps the
+    /// otherwise-exponential garbage compounding (dead nodes of the moving
+    /// variable are rewritten too, and every dead rewrite allocates fresh
+    /// cofactors), so large tables sift in time proportional to live work.
+    ///
+    /// Collections remap node ids: `roots` is rewritten in place (order
+    /// preserved) to the post-sift ids, and every *other* externally held
+    /// [`NodeId`] is invalidated — the caller owns the only handles that
+    /// survive. Returns the final live size, like [`Manager::sift`].
+    pub fn sift_compacting(&mut self, roots: &mut [NodeId]) -> usize {
+        self.sift_walk(roots, true)
+    }
+
+    fn sift_walk(&mut self, roots: &mut [NodeId], compact: bool) -> usize {
         assert!(
             !self.has_frozen_base(),
             "frozen-base managers have a fixed order; sift before freezing"
@@ -198,20 +238,37 @@ impl Manager {
                         best_total = size;
                         best_level = level;
                     }
+                    self.maybe_compact(roots, size, compact);
                 }
             }
             self.move_var_to_level(var, best_level);
             best_total = self.live_size(roots);
+            self.maybe_compact(roots, best_total, compact);
         }
         best_total
     }
 
+    /// The interleaved collection of [`Manager::sift_compacting`]: collect
+    /// when the arena exceeds 4× the live size (with a floor, so small
+    /// tables never bother), remapping `roots` in place.
+    fn maybe_compact(&mut self, roots: &mut [NodeId], live: usize, compact: bool) {
+        const GROWTH: usize = 4;
+        const FLOOR: usize = 1 << 12;
+        if !compact || self.num_nodes() <= (GROWTH * live).max(FLOOR) {
+            return;
+        }
+        let remap = self.gc(roots);
+        for r in roots.iter_mut() {
+            *r = remap.map(*r);
+        }
+    }
+
     fn live_nodes_with_var(&self, roots: &[NodeId], var: Var) -> usize {
-        let mut seen: HashSet<usize> = HashSet::new();
+        let mut seen = vec![false; self.num_nodes()];
         let mut stack: Vec<NodeId> = roots.to_vec();
         let mut count = 0;
         while let Some(x) = stack.pop() {
-            if x.is_terminal() || !seen.insert(x.index()) {
+            if x.is_terminal() || std::mem::replace(&mut seen[x.index()], true) {
                 continue;
             }
             let node = self.node_at(x.index());
@@ -328,6 +385,44 @@ mod tests {
         let remap = m.gc(&[f]);
         let f = remap.map(f);
         assert_eq!(eval_all(&m, f, 6), before);
+    }
+
+    #[test]
+    fn compacting_sift_bounds_the_arena() {
+        // Dead-node rewrites during level swaps compound: a long sift of a
+        // function with lots of dead structure must not grow the arena past
+        // the compaction threshold (4 x live, floored at 4096), and the
+        // remapped roots must still denote the same function.
+        let mut m = Manager::new(16);
+        let mut f = disjoint_pairs(&mut m, 8);
+        // Pile up garbage so the walk starts with plenty of dead nodes.
+        for i in 0..8 {
+            let v = m.var(i);
+            let dead = m.and(f, v);
+            let _ = m.xor(dead, v);
+        }
+        let count_before = m.sat_count(f);
+        let mut roots = [f];
+        let live = m.sift_compacting(&mut roots);
+        f = roots[0];
+        assert_eq!(m.sat_count(f), count_before);
+        let bound = (4 * live.max(1)).max(1 << 12) + (1 << 12);
+        assert!(
+            m.num_nodes() <= bound,
+            "arena {} nodes after compacting sift of {live} live",
+            m.num_nodes()
+        );
+    }
+
+    #[test]
+    fn plain_sift_keeps_handles_stable() {
+        // The historical contract: `sift` never moves nodes, so pre-sift
+        // handles stay valid without remapping.
+        let mut m = Manager::new(8);
+        let f = disjoint_pairs(&mut m, 4);
+        let before = eval_all(&m, f, 8);
+        m.sift(&[f]);
+        assert_eq!(eval_all(&m, f, 8), before);
     }
 
     #[test]

@@ -20,8 +20,9 @@
 
 use std::sync::Arc;
 
-use crate::manager::{Manager, Node, NodeId, Var};
+use crate::manager::{Manager, Node, Var};
 use crate::stats::ManagerStats;
+use crate::table::UniqueTable;
 
 /// The immutable innards of a frozen manager, shared behind the `Arc` in
 /// [`FrozenManager`]. Fields are crate-visible so `Manager` can resolve
@@ -30,9 +31,9 @@ use crate::stats::ManagerStats;
 pub(crate) struct FrozenBase {
     /// The node arena at freeze time; slot 0 is the terminal.
     pub(crate) nodes: Vec<Node>,
-    /// The unique table at freeze time (maps every stored node to its
-    /// regular edge).
-    pub(crate) unique: std::collections::HashMap<Node, NodeId>,
+    /// The unique table at freeze time (open-addressing, values are arena
+    /// indices into `nodes`; maps every stored node to its regular edge).
+    pub(crate) unique: UniqueTable,
     /// `var_to_level[v]` at freeze time.
     pub(crate) var_to_level: Vec<u32>,
     /// `level_to_var[l]` at freeze time.
@@ -121,9 +122,10 @@ impl FrozenManager {
     pub fn approx_bytes(&self) -> usize {
         use std::mem::size_of;
         let node = size_of::<Node>();
-        // HashMap stores (key, value) pairs plus ~1 byte of control metadata
-        // per bucket slot; capacity() counts usable slots.
-        let table_slot = size_of::<(Node, NodeId)>() + 1;
+        // The open-addressing unique table stores one u32 arena index per
+        // slot — node keys live only in the arena, so the table costs 4
+        // bytes per slot at whatever capacity it last grew to.
+        let table_slot = size_of::<u32>();
         self.base.nodes.len() * node
             + self.base.unique.capacity() * table_slot
             + self.base.var_to_level.len() * size_of::<u32>()
@@ -157,6 +159,7 @@ impl FrozenManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::manager::NodeId;
 
     fn frozen_xor() -> (FrozenManager, NodeId) {
         let mut m = Manager::new(3);

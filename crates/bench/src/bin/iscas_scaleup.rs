@@ -1,7 +1,7 @@
 //! `iscas_scaleup` — full checkpoint stuck-at (or sampled-NFBF) sweeps of
 //! the exact `alu74181` and the four ISCAS-85 surrogates (`c432s`,
 //! `c499s`, `c1355s`, `c1908s`), timed end to end and merged into the
-//! bench results file (`BENCH_PR7.json`, or `DP_BENCH_JSON`).
+//! bench results file (`BENCH_PR9.json`, or `DP_BENCH_JSON`).
 //!
 //! ```text
 //! iscas_scaleup [--order identity|fanin-dfs|interleave|auto] [--threads N]

@@ -75,7 +75,7 @@ pub fn parallelism_from_env() -> Parallelism {
     }
 }
 
-/// One measured sweep, as recorded in `BENCH_PR7.json`.
+/// One measured sweep, as recorded in `BENCH_PR9.json`.
 ///
 /// Bench targets run as separate processes, so the file is merged by key
 /// (`circuit/fault_model/threads=N/order=S`) instead of rewritten:
@@ -209,11 +209,12 @@ fn record_telemetry_report(circuit: &Circuit, fault_model: &str, sweep: &SweepRe
 }
 
 /// Where the bench results land: `DP_BENCH_JSON` when set, else
-/// `BENCH_PR7.json` at the workspace root.
+/// `BENCH_PR9.json` at the workspace root (`BENCH_PR7.json` is the frozen
+/// pre-kernel-rewrite baseline the new numbers are compared against).
 fn bench_json_path() -> PathBuf {
     match std::env::var_os("DP_BENCH_JSON") {
         Some(p) => PathBuf::from(p),
-        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR7.json"),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR9.json"),
     }
 }
 

@@ -48,6 +48,15 @@ pub struct EngineConfig {
     /// is bit-identical across strategies, only cost moves. The default,
     /// [`OrderStrategy::Identity`], reproduces the declared input order.
     pub order: OrderStrategy,
+    /// Starting slot count for the manager's direct-mapped operation cache
+    /// (rounded up to a power of two by the kernel, and treated as a floor:
+    /// the kernel doubles the cache as the node arena outgrows it, up to an
+    /// internal hard cap). The cache is lossy — a collision overwrites — so
+    /// this is a pure speed/memory dial with no effect on any analysis
+    /// result; only the layout-dependent execution counters (cache hit
+    /// rates, `op_steps`) move with it. The default suits the ISCAS-scale
+    /// surrogates; shrink it to bound small-worker memory harder.
+    pub op_cache_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +68,7 @@ impl Default for EngineConfig {
             gc_growth: 4.0,
             budget: BudgetConfig::UNLIMITED,
             order: OrderStrategy::Identity,
+            op_cache_capacity: 1 << 18,
         }
     }
 }
@@ -235,8 +245,17 @@ impl<'c> DiffProp<'c> {
         Self::assemble(circuit, good, config)
     }
 
-    /// Shared constructor tail: derive the structural caches.
-    fn assemble(circuit: &'c Circuit, good: GoodFunctions, config: EngineConfig) -> Self {
+    /// Shared constructor tail: derive the structural caches and size the
+    /// kernel's operation cache for the configured workload. The configured
+    /// capacity is a floor — a cache the kernel already grew past it (it
+    /// doubles with the node arena) is left alone rather than shrunk and
+    /// re-grown. (Resizing starts a fresh cache generation; results are
+    /// unaffected — the cache is lossy by design — and cumulative counters
+    /// survive the fold.)
+    fn assemble(circuit: &'c Circuit, mut good: GoodFunctions, config: EngineConfig) -> Self {
+        if good.manager().op_cache_capacity() < config.op_cache_capacity.next_power_of_two().max(1024) {
+            good.manager_mut().set_op_cache_capacity(config.op_cache_capacity);
+        }
         let gc_baseline = good.num_nodes();
         let reach = Reachability::compute(circuit);
         let feeds_output = reach.feeds_output_flags(circuit);

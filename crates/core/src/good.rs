@@ -97,6 +97,11 @@ impl GoodFunctions {
     ) -> Result<Self, BddError> {
         assert_eq!(order.len(), circuit.num_inputs(), "order length mismatch");
         let mut manager = Manager::with_order(order).expect("order must be a permutation");
+        // Pre-size the unique table from the circuit: net count times a
+        // small per-net node estimate kills the rehash storms of a cold
+        // table during the build (growth still happens for blow-up-prone
+        // circuits, just from a warm start).
+        manager.reserve_nodes((circuit.num_nets() * 4).max(1 << 10));
         manager.set_budget(budget);
         let mut funcs = vec![NodeId::FALSE; circuit.num_nets()];
         for (i, &pi) in circuit.inputs().iter().enumerate() {
@@ -166,13 +171,18 @@ impl GoodFunctions {
     /// Runs sifting-based dynamic variable reordering over the good
     /// functions and garbage-collects. Returns `(live nodes before, after)`.
     ///
-    /// Net handles stay valid (sifting rewrites nodes in place); any
-    /// externally held analysis `NodeId`s are invalidated by the trailing
-    /// collection.
+    /// Uses the compacting sift: collections interleave with the level
+    /// walk (unbounded sift garbage is what made large-table reordering
+    /// intractable), so net handles are *remapped*, not stable — this
+    /// method adopts the remapped ids, and any externally held analysis
+    /// `NodeId`s are invalidated.
     pub fn sift(&mut self) -> (usize, usize) {
-        let roots = self.funcs.clone();
+        let mut roots = self.funcs.clone();
         let before = self.manager.live_size(&roots);
-        let after = self.manager.sift(&roots);
+        let after = self.manager.sift_compacting(&mut roots);
+        // The walk remapped the roots in place, order preserved: adopt
+        // them as the net handles before the trailing collection.
+        self.funcs = roots;
         self.gc();
         (before, after)
     }
@@ -384,6 +394,32 @@ mod tests {
             .map(|n| good.manager().density(good.node(n)))
             .collect();
         assert_eq!(reference, check);
+    }
+
+    #[test]
+    fn approx_bytes_pins_the_measured_layout_within_2x() {
+        // The serve snapshot cache budgets real memory with this figure, so
+        // it must track the actual kernel layout: 12-byte arena nodes, a
+        // 4-byte-per-slot open-addressing unique table (power-of-two
+        // capacity, ≤ 8/3 of the entry count at the 3/4 load bound), 4-byte
+        // net handles and order words. A drifting estimate — e.g. one still
+        // assuming 17-byte hash-map buckets — would silently over- or
+        // under-admit snapshots.
+        let c = alu74181();
+        let snap = GoodFunctions::build(&c).freeze();
+        let nodes = snap.num_nodes();
+        // Floor: every component at its minimum footprint (table exactly one
+        // slot per stored node).
+        let measured_floor = nodes * 12 + (nodes - 1) * 4 + c.num_nets() * 4;
+        let reported = snap.approx_bytes();
+        assert!(
+            reported >= measured_floor,
+            "approx_bytes {reported} under-reports the measured floor {measured_floor}"
+        );
+        assert!(
+            reported <= 2 * measured_floor,
+            "approx_bytes {reported} exceeds 2x the measured floor {measured_floor}"
+        );
     }
 
     #[test]

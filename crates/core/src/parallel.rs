@@ -342,18 +342,6 @@ pub struct ShardReport {
     pub telemetry: TelemetrySnapshot,
 }
 
-impl ShardReport {
-    /// The first panic message, if any class this worker claimed panicked.
-    ///
-    /// Kept for callers of the pre-`panics` API; it drops every panic after
-    /// the first, which is exactly the information loss [`ShardReport::panics`]
-    /// exists to fix.
-    #[deprecated(note = "use `panics` — it carries every panicked class id and message")]
-    pub fn panic(&self) -> Option<&str> {
-        self.panics.first().map(|(_, msg)| msg.as_str())
-    }
-}
-
 /// The merged outcome of a sweep: per-fault summaries in the original fault
 /// order plus one [`ShardReport`] per worker.
 #[derive(Debug, Clone)]
