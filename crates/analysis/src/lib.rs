@@ -40,6 +40,7 @@ pub mod trends;
 
 pub use histogram::Histogram;
 pub use records::{
-    analyze_faults, analyze_faults_with, bridging_universe, records_from_summaries,
-    records_from_sweep, stuck_at_universe, FaultRecord,
+    analyze_faults, analyze_faults_with, bridging_universe, fault_model_universe,
+    feedback_bridging_universe, multi_universe, records_from_summaries, records_from_sweep,
+    stuck_at_universe, FaultRecord,
 };

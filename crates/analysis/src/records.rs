@@ -2,8 +2,8 @@
 
 use dp_core::{analyze_universe, EngineConfig, FaultOutcome, Parallelism, SweepResult};
 use dp_faults::{
-    checkpoint_faults, collapse_checkpoint_faults, enumerate_nfbfs, sample_nfbfs,
-    BridgeKind, Fault, SampleConfig,
+    checkpoint_faults, collapse_checkpoint_faults, enumerate_bridges, enumerate_nfbfs,
+    pair_multis, sample_nfbfs, sampled_multis, BridgeKind, BridgeTopology, Fault, SampleConfig,
 };
 use dp_netlist::Circuit;
 
@@ -121,6 +121,25 @@ pub fn records_from_summaries(
                 dp_faults::FaultSite::Branch(b) => (vec![b.sink], vec![b.stem]),
             },
             dp_faults::Fault::Bridging(b) => (vec![b.a, b.b], vec![b.a, b.b]),
+            dp_faults::Fault::MultiStuckAt(m) => {
+                let flow = m
+                    .components()
+                    .iter()
+                    .map(|c| match c.site {
+                        dp_faults::FaultSite::Net(n) => n,
+                        dp_faults::FaultSite::Branch(b) => b.sink,
+                    })
+                    .collect();
+                let sites = m
+                    .components()
+                    .iter()
+                    .map(|c| match c.site {
+                        dp_faults::FaultSite::Net(n) => n,
+                        dp_faults::FaultSite::Branch(b) => b.stem,
+                    })
+                    .collect();
+                (flow, sites)
+            }
         };
         let reachable: std::collections::HashSet<_> = flow_nets
             .iter()
@@ -140,7 +159,7 @@ pub fn records_from_summaries(
                     }
                 }
             },
-            dp_faults::Fault::Bridging(_) => flow_nets
+            dp_faults::Fault::Bridging(_) | dp_faults::Fault::MultiStuckAt(_) => flow_nets
                 .iter()
                 .map(|&s| site_distance(s))
                 .filter(|&d| d != u32::MAX)
@@ -153,7 +172,7 @@ pub fn records_from_summaries(
             .max()
             .unwrap_or(0);
         records.push(FaultRecord {
-            fault: *fault,
+            fault: fault.clone(),
             detectability: summary.detectability,
             adherence: summary.adherence,
             observable_outputs: summary.num_observable(),
@@ -202,6 +221,93 @@ pub fn bridging_universe(
         _ => all,
     };
     picked.into_iter().map(Fault::from).collect()
+}
+
+/// The feedback-bridge universe for a circuit and bridge kind: every pair
+/// with one net in the other's fanout cone, analysed via the engine's
+/// ternary fixpoint propagation. `sample` applies the same
+/// exponential-distance-weighted sampler as [`bridging_universe`].
+pub fn feedback_bridging_universe(
+    circuit: &Circuit,
+    kind: BridgeKind,
+    sample: Option<usize>,
+    seed: u64,
+) -> Vec<Fault> {
+    let all = enumerate_bridges(circuit, kind, BridgeTopology::Feedback);
+    let picked = match sample {
+        Some(n) if n < all.len() => sample_nfbfs(
+            circuit,
+            &all,
+            SampleConfig {
+                count: n,
+                seed,
+                ..Default::default()
+            },
+        ),
+        _ => all,
+    };
+    picked.into_iter().map(Fault::from).collect()
+}
+
+/// The multiple stuck-at universe for a circuit: every distinct-site pair
+/// of checkpoint faults when `k == 2` and `sample` is `None`, or a seeded
+/// deterministic sample of `sample` multiplicity-`k` faults otherwise.
+///
+/// # Panics
+///
+/// Panics when `k != 2` and no sample size is given — exhaustive
+/// higher-multiplicity universes are combinatorially out of reach.
+pub fn multi_universe(
+    circuit: &Circuit,
+    k: usize,
+    sample: Option<usize>,
+    seed: u64,
+) -> Vec<Fault> {
+    let multis = match sample {
+        None if k == 2 => pair_multis(circuit),
+        Some(n) => sampled_multis(circuit, k, n, seed),
+        None => panic!("exhaustive multi universe only exists for pairs; give k={k} a sample size"),
+    };
+    multis.into_iter().map(Fault::from).collect()
+}
+
+/// Resolves a fault-model name to its universe — the single vocabulary the
+/// `diffprop` CLI, the `dp-serve` protocol, and the experiment drivers
+/// share:
+///
+/// | name | universe |
+/// |---|---|
+/// | `stuck` | collapsed checkpoint stuck-at faults |
+/// | `nfbf-and` / `nfbf-or` | non-feedback bridging faults |
+/// | `fbridge-and` / `fbridge-or` | feedback bridging faults (ternary fixpoint) |
+/// | `multi` | all distinct-site checkpoint pairs |
+///
+/// `sample` caps the bridging universes by the exponential-distance sampler
+/// and turns `multi` into a seeded pair sample; `stuck` ignores it (the
+/// caller truncates if it wants fewer faults).
+pub fn fault_model_universe(
+    circuit: &Circuit,
+    model: &str,
+    sample: Option<usize>,
+    seed: u64,
+) -> Result<Vec<Fault>, String> {
+    Ok(match model {
+        "stuck" => stuck_at_universe(circuit, true),
+        "nfbf-and" => bridging_universe(circuit, BridgeKind::And, sample, seed),
+        "nfbf-or" => bridging_universe(circuit, BridgeKind::Or, sample, seed),
+        "fbridge-and" => feedback_bridging_universe(circuit, BridgeKind::And, sample, seed),
+        "fbridge-or" => feedback_bridging_universe(circuit, BridgeKind::Or, sample, seed),
+        "multi" => match sample {
+            None => multi_universe(circuit, 2, None, seed),
+            Some(n) => multi_universe(circuit, 2, Some(n), seed),
+        },
+        other => {
+            return Err(format!(
+                "unknown fault model `{other}` (expected stuck, nfbf-and, nfbf-or, \
+                 fbridge-and, fbridge-or, or multi)"
+            ))
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! Ablations of the design choices DESIGN.md §10 calls out:
+//! Ablations of the design choices DESIGN.md §12 calls out:
 //!
 //! * selective trace on vs off,
 //! * Table-1 difference equations vs naive faulty-function recomputation

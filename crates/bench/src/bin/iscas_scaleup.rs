@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! iscas_scaleup [--order identity|fanin-dfs|interleave|auto] [--threads N]
-//!               [--only c432s,c499s,...] [--model stuck_at|nfbf]
+//!               [--only c432s,c499s,...] [--model stuck_at|nfbf|fbridge|multi]
 //!               [--sample N] [--seed S]
 //! ```
 //!
@@ -16,15 +16,21 @@
 //! to `DP_BENCH_THREADS`, then serial. `--only` restricts the surrogate set
 //! — recording the identity baseline of `c432s` alone is affordable, while
 //! identity-order `c1355s` is not. `--model nfbf` sweeps non-feedback
-//! bridging faults instead of stuck-at; the full NFBF universes of the big
-//! surrogates are quadratic in net count, so `--sample N` (with `--seed S`,
-//! default 1990) draws a deterministic, thread-invariant sample ranked by a
+//! bridging faults instead of stuck-at; `--model fbridge` sweeps feedback
+//! bridges through the engine's ternary fixpoint, and `--model multi`
+//! sweeps double stuck-at faults from the all-pairs checkpoint universe.
+//! The full bridging and pair universes of the big surrogates are quadratic
+//! in net (or checkpoint) count, so `--sample N` (with `--seed S`, default
+//! 1990) draws a deterministic, thread-invariant sample ranked by a
 //! splitmix64 hash of the global fault index — such records are keyed
-//! `nfbf_sN` so differently sized samples coexist in the file. Set
-//! `DP_TELEMETRY_JSON=PATH` to also write a schema-valid
-//! `sweep_report.json` covering every sweep.
+//! `nfbf_sN` / `fbridge_sN` / `multi_sN` so differently sized samples
+//! coexist in the file. Set `DP_TELEMETRY_JSON=PATH` to also write a
+//! schema-valid `sweep_report.json` covering every sweep.
 
-use dp_bench::{parallelism_from_env, record_bench_result, sampled_nfbf_universe, BenchRecord};
+use dp_bench::{
+    parallelism_from_env, record_bench_result, sampled_feedback_universe, sampled_multi_universe,
+    sampled_nfbf_universe, BenchRecord,
+};
 use dp_core::{EngineConfig, OrderStrategy, Parallelism, SweepConfig};
 use dp_faults::{checkpoint_faults, Fault};
 use dp_netlist::generators;
@@ -32,7 +38,8 @@ use dp_netlist::generators;
 fn usage() -> ! {
     eprintln!(
         "usage: iscas_scaleup [--order identity|fanin-dfs|interleave|auto|random:SEED] \
-         [--threads N] [--only c432s,c499s,...] [--model stuck_at|nfbf] [--sample N] [--seed S]"
+         [--threads N] [--only c432s,c499s,...] [--model stuck_at|nfbf|fbridge|multi] \
+         [--sample N] [--seed S]"
     );
     std::process::exit(2);
 }
@@ -76,7 +83,7 @@ fn main() {
             }
             "--model" => {
                 let v = value();
-                if v != "stuck_at" && v != "nfbf" {
+                if !["stuck_at", "nfbf", "fbridge", "multi"].contains(&v.as_str()) {
                     eprintln!("--model: unknown fault model `{v}`");
                     usage();
                 }
@@ -99,8 +106,8 @@ fn main() {
             _ => usage(),
         }
     }
-    if sample > 0 && model != "nfbf" {
-        eprintln!("--sample only applies to --model nfbf");
+    if sample > 0 && model == "stuck_at" {
+        eprintln!("--sample does not apply to --model stuck_at");
         usage();
     }
 
@@ -124,24 +131,26 @@ fn main() {
                 continue;
             }
         }
-        let (faults, model_name): (Vec<Fault>, String) = if model == "nfbf" {
-            let faults = if sample > 0 {
-                sampled_nfbf_universe(&circuit, sample, seed)
-            } else {
-                sampled_nfbf_universe(&circuit, usize::MAX, seed)
-            };
-            let name = if sample > 0 {
-                format!("nfbf_s{sample}")
-            } else {
-                "nfbf".to_string()
-            };
-            (faults, name)
+        let count = if sample > 0 { sample } else { usize::MAX };
+        let (faults, model_name): (Vec<Fault>, String) = match model.as_str() {
+            "nfbf" => (sampled_nfbf_universe(&circuit, count, seed), model.clone()),
+            "fbridge" => (
+                sampled_feedback_universe(&circuit, count, seed),
+                model.clone(),
+            ),
+            "multi" => (sampled_multi_universe(&circuit, count, seed), model.clone()),
+            _ => (
+                checkpoint_faults(&circuit)
+                    .into_iter()
+                    .map(Fault::from)
+                    .collect(),
+                "stuck_at".to_string(),
+            ),
+        };
+        let model_name = if sample > 0 && model != "stuck_at" {
+            format!("{model_name}_s{sample}")
         } else {
-            let faults = checkpoint_faults(&circuit)
-                .into_iter()
-                .map(Fault::from)
-                .collect();
-            (faults, "stuck_at".to_string())
+            model_name
         };
         let record = BenchRecord::measure_with(&circuit, &faults, &model_name, &config);
         println!(

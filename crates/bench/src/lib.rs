@@ -10,7 +10,10 @@
 //!   order, and n-input gate decomposition.
 
 use dp_core::{sweep_report, sweep_universe, Parallelism, SweepConfig, SweepResult};
-use dp_faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
+use dp_faults::{
+    checkpoint_faults, enumerate_bridges, enumerate_nfbfs, pair_multis, BridgeKind,
+    BridgeTopology, Fault,
+};
 use dp_netlist::Circuit;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -48,6 +51,13 @@ pub fn sampled_nfbf_universe(circuit: &Circuit, count: usize, seed: u64) -> Vec<
     for kind in [BridgeKind::And, BridgeKind::Or] {
         faults.extend(enumerate_nfbfs(circuit, kind).into_iter().map(Fault::from));
     }
+    rank_sample(faults, count, seed)
+}
+
+/// Ranks every index of `faults` by a splitmix64 hash of `seed ^ index` and
+/// keeps the `count` lowest-ranked, in the universe's original order — the
+/// thread-invariant sampling convention of [`sampled_nfbf_universe`].
+fn rank_sample(faults: Vec<Fault>, count: usize, seed: u64) -> Vec<Fault> {
     if count >= faults.len() {
         return faults;
     }
@@ -58,6 +68,30 @@ pub fn sampled_nfbf_universe(circuit: &Circuit, count: usize, seed: u64) -> Vec<
     let mut keep: Vec<usize> = ranked[..count].iter().map(|&(_, i)| i).collect();
     keep.sort_unstable();
     keep.into_iter().map(|i| faults[i].clone()).collect()
+}
+
+/// A seeded, deterministic sample of `count` feedback bridging faults (the
+/// AND pairs followed by the OR pairs, each in [`enumerate_bridges`] order),
+/// analysed via the engine's ternary fixpoint propagation. Same invariance
+/// guarantees as [`sampled_nfbf_universe`].
+pub fn sampled_feedback_universe(circuit: &Circuit, count: usize, seed: u64) -> Vec<Fault> {
+    let mut faults: Vec<Fault> = Vec::new();
+    for kind in [BridgeKind::And, BridgeKind::Or] {
+        faults.extend(
+            enumerate_bridges(circuit, kind, BridgeTopology::Feedback)
+                .into_iter()
+                .map(Fault::from),
+        );
+    }
+    rank_sample(faults, count, seed)
+}
+
+/// A seeded, deterministic sample of `count` double stuck-at faults from
+/// the all-pairs checkpoint universe ([`pair_multis`] order). Same
+/// invariance guarantees as [`sampled_nfbf_universe`].
+pub fn sampled_multi_universe(circuit: &Circuit, count: usize, seed: u64) -> Vec<Fault> {
+    let faults: Vec<Fault> = pair_multis(circuit).into_iter().map(Fault::from).collect();
+    rank_sample(faults, count, seed)
 }
 
 /// The sweep-execution knob shared by the bench targets: set

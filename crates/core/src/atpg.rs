@@ -75,7 +75,7 @@ pub fn generate_tests_with(dp: &mut DiffProp<'_>, faults: &[Fault]) -> TestSet {
     for fault in faults {
         let analysis = dp.analyze(fault);
         if !analysis.is_detectable() {
-            undetectable.push(*fault);
+            undetectable.push(fault.clone());
             continue;
         }
         covered += 1;
@@ -148,7 +148,7 @@ mod tests {
             site: dp_faults::FaultSite::Net(a),
             value: false,
         });
-        let tests = generate_tests(&c, &[fault]);
+        let tests = generate_tests(&c, &[fault.clone()]);
         assert_eq!(tests.undetectable, vec![fault]);
         assert_eq!(tests.covered, 0);
         assert!(tests.vectors.is_empty());

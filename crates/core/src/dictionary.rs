@@ -168,7 +168,7 @@ impl FaultDictionary {
             .enumerate()
             .map(|(i, s)| Candidate {
                 fault_index: i,
-                fault: self.faults[i],
+                fault: self.faults[i].clone(),
                 distance: s.distance(observed),
             })
             .collect();

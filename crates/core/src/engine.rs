@@ -3,10 +3,10 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use dp_bdd::{BudgetConfig, Cube, NodeId};
-use dp_faults::{BridgeKind, Fault, FaultSite, StuckAtFault};
-use dp_netlist::{Circuit, Driver, NetId, Reachability};
-use dp_telemetry::{CounterKind, SharedCollector, SpanKind};
+use dp_bdd::{BudgetConfig, Cube, Manager, NodeId};
+use dp_faults::{BridgeKind, BridgingFault, Fault, FaultSite, StuckAtFault};
+use dp_netlist::{Circuit, Driver, GateKind, NetId, Reachability};
+use dp_telemetry::{CounterKind, HistKind, SharedCollector, SpanKind};
 
 use crate::delta::{delta_output, naive_delta_output};
 use crate::error::AnalysisError;
@@ -118,6 +118,17 @@ pub struct FaultAnalysis {
     /// scheduling-invariant measure of propagation work (selective trace
     /// skips do not count).
     pub gates_propagated: u32,
+    /// Ternary fixpoint sweeps a feedback-bridge analysis ran before the
+    /// bridged wire stabilised. Zero for every acyclic fault model (single
+    /// and multiple stuck-at, non-feedback bridges), whose one-pass
+    /// propagation needs no iteration.
+    pub fixpoint_iterations: u32,
+    /// Fraction of input vectors under which a feedback-bridge's wired value
+    /// never settles (residual X after the fixpoint — the loop oscillates).
+    /// Oscillating vectors are *excluded* from the test set: only vectors
+    /// with a definite output difference count as detections. Zero for
+    /// acyclic fault models.
+    pub oscillation_density: f64,
 }
 
 impl FaultAnalysis {
@@ -173,6 +184,74 @@ struct Propagated {
     test_count: Option<u128>,
     observable_outputs: Vec<bool>,
     gates_propagated: u32,
+}
+
+/// Iteration cap for the feedback-bridge ternary fixpoint. The dual-rail
+/// Kleene iteration is monotone, so real netlists stabilise in a handful of
+/// sweeps (roughly the loop depth plus two); the cap turns a pathological
+/// symbolic chain into a typed [`AnalysisError::FixpointDiverged`] instead
+/// of a hang.
+const MAX_FIXPOINT_ITERS: u32 = 64;
+
+/// Dual-rail ternary value of a net: `.0` is the set of input vectors where
+/// the net is definitely 1, `.1` where it is definitely 0; vectors in
+/// neither set carry X. A fully defined net has `.0 = f` and `.1 = ¬f`.
+type Rails = (NodeId, NodeId);
+
+/// Kleene (ternary) evaluation of one gate over dual-rail fanins: the
+/// output is definite exactly on the vectors where its inputs force it
+/// (a definite 0 into an AND decides the output even if other inputs
+/// are X, and so on).
+fn ternary_gate(m: &mut Manager, kind: GateKind, fanins: &[Rails]) -> Rails {
+    match kind {
+        GateKind::And | GateKind::Nand => {
+            let mut hi = NodeId::TRUE;
+            let mut lo = NodeId::FALSE;
+            for &(h, l) in fanins {
+                hi = m.and(hi, h);
+                lo = m.or(lo, l);
+            }
+            if matches!(kind, GateKind::Nand) {
+                (lo, hi)
+            } else {
+                (hi, lo)
+            }
+        }
+        GateKind::Or | GateKind::Nor => {
+            let mut hi = NodeId::FALSE;
+            let mut lo = NodeId::TRUE;
+            for &(h, l) in fanins {
+                hi = m.or(hi, h);
+                lo = m.and(lo, l);
+            }
+            if matches!(kind, GateKind::Nor) {
+                (lo, hi)
+            } else {
+                (hi, lo)
+            }
+        }
+        GateKind::Xor | GateKind::Xnor => {
+            // Parity is definite only where every input is: no single
+            // definite input can decide an XOR.
+            let mut defined = NodeId::TRUE;
+            let mut v = NodeId::FALSE;
+            for &(h, l) in fanins {
+                let d = m.or(h, l);
+                defined = m.and(defined, d);
+                v = m.xor(v, h);
+            }
+            let nv = m.not(v);
+            let hi = m.and(defined, v);
+            let lo = m.and(defined, nv);
+            if matches!(kind, GateKind::Xnor) {
+                (lo, hi)
+            } else {
+                (hi, lo)
+            }
+        }
+        GateKind::Not => (fanins[0].1, fanins[0].0),
+        GateKind::Buf => fanins[0],
+    }
 }
 
 /// Initialised fault-site state handed to the propagation core.
@@ -467,6 +546,13 @@ impl<'c> DiffProp<'c> {
                 self.init_stuck_at(f, &mut init);
             }
             Fault::Bridging(f) => {
+                // A feedback pair (one wire in the other's fanout cone)
+                // breaks the one-pass delta propagation: the wired value
+                // depends on itself through the loop. Route it through the
+                // ternary fixpoint instead.
+                if self.reach.reaches(f.a, f.b) || self.reach.reaches(f.b, f.a) {
+                    return self.try_analyze_bridge_fixpoint(f);
+                }
                 let fa = self.good.node(f.a);
                 let fb = self.good.node(f.b);
                 let m = self.good.manager_mut();
@@ -490,6 +576,16 @@ impl<'c> DiffProp<'c> {
                     }
                 }
             }
+            Fault::MultiStuckAt(mf) => {
+                // Every component pins its site, and the fronts propagate —
+                // and possibly mask each other — in one combined pass, same
+                // as `try_analyze_multi_stuck_at`. Each component site is a
+                // constant, so the composite site function is too.
+                site_function_constant = true;
+                for c in mf.components() {
+                    self.init_stuck_at(c, &mut init);
+                }
+            }
         }
 
         let p = self.propagate(init);
@@ -497,7 +593,7 @@ impl<'c> DiffProp<'c> {
             return Err(err);
         }
         Ok(FaultAnalysis {
-            fault: *fault,
+            fault: fault.clone(),
             po_deltas: p.po_deltas,
             test_set: p.test_set,
             detectability: p.detectability,
@@ -505,6 +601,8 @@ impl<'c> DiffProp<'c> {
             observable_outputs: p.observable_outputs,
             site_function_constant,
             gates_propagated: p.gates_propagated,
+            fixpoint_iterations: 0,
+            oscillation_density: 0.0,
         })
     }
 
@@ -518,6 +616,177 @@ impl<'c> DiffProp<'c> {
         self.good.gc();
         self.gc_baseline = self.good.num_nodes();
         Some(AnalysisError::BudgetExceeded(err))
+    }
+
+    /// Analyses a bridging fault by **ternary fixpoint**: both wires are
+    /// overridden to the wired value `w`, and the monotone dual-rail Kleene
+    /// iteration `w ← wired(driven_a, driven_b)` runs from all-X until the
+    /// bridged value stabilises.
+    ///
+    /// This is the engine's path for feedback pairs
+    /// ([`dp_faults::BridgeTopology::Feedback`]), where the wired value
+    /// feeds back into its own computation and the one-pass delta
+    /// propagation does not apply. On a non-feedback pair it converges in
+    /// exactly two sweeps to the same faulty functions as the one-pass
+    /// path, so every scalar is bit-identical (OBDD canonicity).
+    ///
+    /// Vectors whose loop never settles (residual X on the bridged wire
+    /// after the fixpoint) are reported via
+    /// [`FaultAnalysis::oscillation_density`] and **excluded from the test
+    /// set**: only definite output differences count as detections — the
+    /// pessimistic reading of an oscillating wire.
+    ///
+    /// Honours the configured budget like [`DiffProp::try_analyze`]; a loop
+    /// that fails to stabilise within the iteration cap returns
+    /// [`AnalysisError::FixpointDiverged`] with the engine recovered.
+    pub fn try_analyze_bridge_fixpoint(
+        &mut self,
+        fault: &BridgingFault,
+    ) -> Result<FaultAnalysis, AnalysisError> {
+        self.maybe_gc();
+        self.good.manager_mut().reset_budget_window();
+        let circuit = self.circuit;
+        let (a, b) = (fault.a, fault.b);
+        // Every net either bridged wire can influence (cones are reflexive,
+        // so a and b are included). Ascending index order is topological.
+        let affected: Vec<usize> = (0..circuit.num_nets())
+            .filter(|&i| {
+                let n = NetId::from_index(i);
+                self.reach.reaches(a, n) || self.reach.reaches(b, n)
+            })
+            .collect();
+        let mut gates_propagated: u32 = 0;
+        // Dual-rail state of affected nets; a net absent from the map is
+        // fault-free and reads as its (fully defined) good function.
+        let mut state: HashMap<usize, Rails> = HashMap::new();
+        let mut w: Rails = (NodeId::FALSE, NodeId::FALSE); // all-X start
+        let mut iterations: u32 = 0;
+        let mut converged = false;
+        while iterations < MAX_FIXPOINT_ITERS {
+            iterations += 1;
+            state.insert(a.index(), w);
+            state.insert(b.index(), w);
+            for &idx in &affected {
+                if idx == a.index() || idx == b.index() {
+                    continue; // pinned to the wired value
+                }
+                // An affected net other than the wires themselves is always
+                // gate-driven (a primary input is reachable only from
+                // itself), so this evaluates its gate under the override.
+                let net = NetId::from_index(idx);
+                let rails = self.driven_rails(net, &state);
+                state.insert(idx, rails);
+                gates_propagated += 1;
+            }
+            let da = self.driven_rails(a, &state);
+            let db = self.driven_rails(b, &state);
+            let m = self.good.manager_mut();
+            let w_next = match fault.kind {
+                BridgeKind::And => (m.and(da.0, db.0), m.or(da.1, db.1)),
+                BridgeKind::Or => (m.or(da.0, db.0), m.and(da.1, db.1)),
+            };
+            // A tripped manager hands back unusable results; bail out before
+            // they could fake a convergence.
+            if let Some(err) = self.check_budget() {
+                return Err(err);
+            }
+            if w_next == w {
+                // The sweep above already ran under this very override, so
+                // the state is a consistent solution of the loop equations.
+                converged = true;
+                break;
+            }
+            w = w_next;
+        }
+        if !converged {
+            self.good.gc();
+            self.gc_baseline = self.good.num_nodes();
+            return Err(AnalysisError::FixpointDiverged { iterations });
+        }
+
+        // Definite output differences only: faulty definitely 1 where the
+        // good circuit says 0, or definitely 0 where it says 1.
+        let outputs = circuit.outputs().to_vec();
+        let mut po_deltas: Vec<NodeId> = Vec::with_capacity(outputs.len());
+        for &o in &outputs {
+            let delta = match state.get(&o.index()) {
+                Some(&(hi, lo)) => {
+                    let g = self.good.node(o);
+                    let m = self.good.manager_mut();
+                    let ng = m.not(g);
+                    let d1 = m.and(hi, ng);
+                    let d0 = m.and(lo, g);
+                    m.or(d1, d0)
+                }
+                None => NodeId::FALSE,
+            };
+            po_deltas.push(delta);
+        }
+        let m = self.good.manager_mut();
+        let mut test_set = NodeId::FALSE;
+        for &d in &po_deltas {
+            if !d.is_false() {
+                test_set = m.or(test_set, d);
+            }
+        }
+        let detectability = m.density(test_set);
+        let test_count = (m.num_vars() <= 127).then(|| m.sat_count(test_set));
+        let observable_outputs: Vec<bool> = po_deltas.iter().map(|d| !d.is_false()).collect();
+        let defined = m.or(w.0, w.1);
+        let oscillating = m.not(defined);
+        let oscillation_density = m.density(oscillating);
+        // Constant in the definite sense: the wire settles to the same
+        // value on *every* vector — the §4.2 stuck-at-behaviour test.
+        let site_function_constant = w.0 == NodeId::TRUE || w.1 == NodeId::TRUE;
+        if let Some(err) = self.check_budget() {
+            return Err(err);
+        }
+        if let Some(tel) = &self.telemetry {
+            let mut tel = tel.borrow_mut();
+            tel.count_span(SpanKind::GateProp, gates_propagated as u64);
+            tel.add(CounterKind::GatesPropagated, gates_propagated as u64);
+            tel.record_hist(HistKind::FixpointIterations, iterations as u64);
+            if oscillation_density > 0.0 {
+                tel.add(CounterKind::OscillatingFaults, 1);
+            }
+        }
+        Ok(FaultAnalysis {
+            fault: Fault::Bridging(*fault),
+            po_deltas,
+            test_set,
+            detectability,
+            test_count,
+            observable_outputs,
+            site_function_constant,
+            gates_propagated,
+            fixpoint_iterations: iterations,
+            oscillation_density,
+        })
+    }
+
+    /// The dual-rail value a net's *driver* produces under `state`
+    /// (overridden fanins read from the map, fault-free fanins from the
+    /// good functions). A primary input drives its good rails.
+    fn driven_rails(&mut self, net: NetId, state: &HashMap<usize, Rails>) -> Rails {
+        let circuit = self.circuit;
+        let Driver::Gate { kind, fanins } = circuit.driver(net) else {
+            return self.good_rails(net);
+        };
+        let kind = *kind;
+        let rails: Vec<Rails> = fanins
+            .iter()
+            .map(|f| match state.get(&f.index()) {
+                Some(&r) => r,
+                None => self.good_rails(*f),
+            })
+            .collect();
+        ternary_gate(self.good.manager_mut(), kind, &rails)
+    }
+
+    /// A fault-free net's dual rails: `(f, ¬f)` — fully defined.
+    fn good_rails(&mut self, net: NetId) -> Rails {
+        let g = self.good.node(net);
+        (g, self.good.manager().not(g))
     }
 
     /// Analyses a **multiple stuck-at fault**: all `components` present
@@ -699,6 +968,8 @@ impl<'c> DiffProp<'c> {
                 observable_outputs,
                 site_function_constant: true,
                 gates_propagated: p.gates_propagated,
+                fixpoint_iterations: 0,
+                oscillation_density: 0.0,
             });
         }
         // The per-fault or-folds and counts above also run under the budget.
@@ -905,6 +1176,8 @@ impl<'c> DiffProp<'c> {
                 Some(if f.value { 1.0 - s } else { s })
             }
             Fault::Bridging(_) => None,
+            // A multiple fault has no single-line excitation syndrome.
+            Fault::MultiStuckAt(_) => None,
         }
     }
 
@@ -1084,8 +1357,6 @@ mod tests {
 
     #[test]
     fn bridge_site_constant_flag() {
-        // Bridge between a net and its complement is stuck-at-like:
-        // AND(x, ¬x) = 0 everywhere.
         use dp_netlist::{CircuitBuilder, GateKind};
         let mut b = CircuitBuilder::new("t");
         let x = b.input("x");
@@ -1097,14 +1368,21 @@ mod tests {
         b.output(g2);
         let c = b.finish().unwrap();
         let mut dp = DiffProp::new(&c);
-        // x and nx bridged: wired-AND gives constant 0.
+        // x and nx bridged is a feedback pair (nx sits in x's fanout cone):
+        // the ternary fixpoint gives w = x AND NOT w, i.e. definite 0 at
+        // x=0 and an oscillation at x=1 — not a constant site. At x=0,y=0
+        // the wire drags nx to 0 and flips g2, the one definite detection.
         let f = Fault::from(BridgingFault::new(x, nx, BridgeKind::And));
         let analysis = dp.analyze(&f);
-        assert!(analysis.site_function_constant);
+        assert!(!analysis.site_function_constant);
+        assert_eq!(analysis.detectability, 0.25);
+        assert_eq!(analysis.oscillation_density, 0.5, "oscillates iff x=1");
+        assert!(analysis.fixpoint_iterations >= 2);
         // x and y bridged: wired value x·y is not constant.
         let f2 = Fault::from(BridgingFault::new(x, y, BridgeKind::And));
         let analysis2 = dp.analyze(&f2);
         assert!(!analysis2.site_function_constant);
+        assert_eq!(analysis2.oscillation_density, 0.0);
     }
 
     #[test]
@@ -1282,6 +1560,9 @@ mod tests {
                         let exact = reference.analyze(fault);
                         assert_eq!(after.test_count, exact.test_count, "{fault}");
                     }
+                    Err(AnalysisError::FixpointDiverged { .. }) => {
+                        panic!("stuck-at fault reported a fixpoint divergence")
+                    }
                 }
             }
         }
@@ -1298,6 +1579,7 @@ mod tests {
             Err(AnalysisError::BudgetExceeded(e)) => {
                 assert!(e.to_string().contains("budget"), "{e}");
             }
+            Err(e) => panic!("expected a budget error, got {e}"),
             Ok(_) => panic!("c95 good functions cannot fit in 4 nodes"),
         }
     }

@@ -15,12 +15,24 @@ pub enum AnalysisError {
     /// good functions are intact and the next analysis starts with a fresh
     /// budget window.
     BudgetExceeded(BddError),
+    /// A feedback-bridge ternary fixpoint failed to stabilise within the
+    /// engine's iteration cap. The Kleene iteration is monotone, so this
+    /// indicates a loop whose symbolic chain is deeper than the cap — the
+    /// engine has recovered and the caller should fall back to simulation.
+    FixpointDiverged {
+        /// Iterations run before giving up.
+        iterations: u32,
+    },
 }
 
 impl fmt::Display for AnalysisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AnalysisError::BudgetExceeded(e) => write!(f, "analysis abandoned: {e}"),
+            AnalysisError::FixpointDiverged { iterations } => write!(
+                f,
+                "feedback fixpoint did not stabilise within {iterations} iterations"
+            ),
         }
     }
 }
@@ -29,6 +41,7 @@ impl std::error::Error for AnalysisError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AnalysisError::BudgetExceeded(e) => Some(e),
+            AnalysisError::FixpointDiverged { .. } => None,
         }
     }
 }

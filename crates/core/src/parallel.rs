@@ -115,7 +115,7 @@ use dp_telemetry::{
     Collector, CounterKind, HistKind, SharedCollector, SpanKind, TelemetryLevel, TelemetrySnapshot,
 };
 
-use crate::engine::{DiffProp, EngineConfig};
+use crate::engine::{DiffProp, EngineConfig, FaultAnalysis};
 use crate::good::GoodSnapshot;
 
 /// Index of an equivalence class in the sweep's collapsed class list — the
@@ -231,12 +231,40 @@ pub enum FaultOutcome {
         /// Random vectors simulated for the estimate.
         samples: u64,
     },
+    /// Difference Propagation completed, but the fault is a feedback bridge
+    /// whose wired value never settles on some input vectors: the scalars
+    /// are exact under the ternary (pessimistic) semantics — oscillating
+    /// vectors are excluded from the test set — and the residual is
+    /// reported here.
+    Oscillating {
+        /// Bit pattern of the oscillation density `f64` (the fraction of
+        /// vectors with residual X at the bridged wire). Stored as bits so
+        /// the outcome stays `Eq` and digest-stable.
+        density_bits: u64,
+    },
 }
 
 impl FaultOutcome {
     /// `true` for [`FaultOutcome::Exact`].
     pub fn is_exact(self) -> bool {
         matches!(self, FaultOutcome::Exact)
+    }
+
+    /// `true` for [`FaultOutcome::Oscillating`].
+    pub fn is_oscillating(self) -> bool {
+        matches!(self, FaultOutcome::Oscillating { .. })
+    }
+}
+
+/// The outcome an exact analysis maps to: [`FaultOutcome::Exact`] unless
+/// the feedback fixpoint left oscillating vectors behind.
+fn analysis_outcome(analysis: &FaultAnalysis) -> FaultOutcome {
+    if analysis.oscillation_density > 0.0 {
+        FaultOutcome::Oscillating {
+            density_bits: analysis.oscillation_density.to_bits(),
+        }
+    } else {
+        FaultOutcome::Exact
     }
 }
 
@@ -403,11 +431,22 @@ impl SweepResult {
         self.shards.iter().flat_map(|s| &s.panics).collect()
     }
 
-    /// Number of summaries that are budget-capped estimates.
+    /// Number of summaries that are budget-capped estimates. Oscillating
+    /// summaries are *not* counted — their scalars are exact under the
+    /// ternary semantics, not simulator estimates.
     pub fn num_bounded(&self) -> usize {
         self.summaries
             .iter()
-            .filter(|s| !s.outcome.is_exact())
+            .filter(|s| matches!(s.outcome, FaultOutcome::Bounded { .. }))
+            .count()
+    }
+
+    /// Number of feedback-bridge summaries with a non-zero oscillation
+    /// residual.
+    pub fn num_oscillating(&self) -> usize {
+        self.summaries
+            .iter()
+            .filter(|s| s.outcome.is_oscillating())
             .count()
     }
 }
@@ -733,7 +772,9 @@ fn class_flow_net(faults: &[Fault], class: &FaultClass, reach: &Reachability) ->
             };
             (net.index() < reach.num_nets()).then_some(net)
         }
-        Fault::Bridging(_) => None,
+        // Bridges and multiple faults have several sites and no single flow
+        // cone; they stay singleton.
+        Fault::Bridging(_) | Fault::MultiStuckAt(_) => None,
     }
 }
 
@@ -965,9 +1006,11 @@ fn try_fused_batch<'c>(
     };
     let reps: Vec<StuckAtFault> = batch
         .iter()
-        .map(|&c| match faults[classes[c].representative] {
-            Fault::StuckAt(f) => f,
-            Fault::Bridging(_) => unreachable!("plan_batches never packs bridging classes"),
+        .map(|&c| match &faults[classes[c].representative] {
+            Fault::StuckAt(f) => *f,
+            Fault::Bridging(_) | Fault::MultiStuckAt(_) => {
+                unreachable!("plan_batches never packs multi-site classes")
+            }
         })
         .collect();
     // One fault span for the batch's shared propagation, mirroring the one
@@ -992,7 +1035,7 @@ fn try_fused_batch<'c>(
         let class = &classes[c];
         let class_timer = collector.borrow().start();
         for &m in &class.members {
-            let fault = faults[m];
+            let fault = faults[m].clone();
             let adherence = engine
                 .detectability_bound(&fault)
                 .and_then(|u| (u > 0.0).then(|| analysis.detectability / u));
@@ -1005,7 +1048,7 @@ fn try_fused_batch<'c>(
                     observable_outputs: analysis.observable_outputs.clone(),
                     site_function_constant: analysis.site_function_constant,
                     adherence,
-                    outcome: FaultOutcome::Exact,
+                    outcome: analysis_outcome(analysis),
                 },
             ));
         }
@@ -1066,7 +1109,7 @@ fn summarize_class(
         Some((dp, analysis)) => {
             collector.borrow_mut().finish(SpanKind::Fault, fault_timer);
             for &m in &class.members {
-                let fault = faults[m];
+                let fault = faults[m].clone();
                 let adherence = dp
                     .detectability_bound(&fault)
                     .and_then(|u| (u > 0.0).then(|| analysis.detectability / u));
@@ -1079,7 +1122,7 @@ fn summarize_class(
                         observable_outputs: analysis.observable_outputs.clone(),
                         site_function_constant: analysis.site_function_constant,
                         adherence,
-                        outcome: FaultOutcome::Exact,
+                        outcome: analysis_outcome(&analysis),
                     },
                 ));
             }
@@ -1128,7 +1171,7 @@ fn sampled_summary(
         fallback.seed.wrapping_add(global_index as u64),
     );
     FaultSummary {
-        fault: *fault,
+        fault: fault.clone(),
         detectability: est.detectability(),
         test_count: None,
         observable_outputs: est.observable_outputs,

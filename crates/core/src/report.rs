@@ -46,6 +46,9 @@ pub fn summary_line(index: usize, s: &FaultSummary) -> String {
         FaultOutcome::Bounded { samples } => {
             let _ = write!(line, "\tbounded:{samples}");
         }
+        FaultOutcome::Oscillating { density_bits } => {
+            let _ = write!(line, "\toscillating:{density_bits:016x}");
+        }
     }
     line
 }
@@ -71,6 +74,11 @@ pub fn sweep_report(circuit: &str, fault_model: &str, result: &SweepResult) -> S
         .iter()
         .filter(|s| s.outcome.is_exact())
         .count();
+    let oscillating = result
+        .summaries
+        .iter()
+        .filter(|s| s.outcome.is_oscillating())
+        .count();
     SweepReport {
         circuit: circuit.to_string(),
         fault_model: fault_model.to_string(),
@@ -80,7 +88,8 @@ pub fn sweep_report(circuit: &str, fault_model: &str, result: &SweepResult) -> S
             singleton_classes: result.collapse.singleton_classes as u64,
             largest_class: result.collapse.largest_class as u64,
             exact: exact as u64,
-            bounded: (result.summaries.len() - exact) as u64,
+            bounded: (result.summaries.len() - exact - oscillating) as u64,
+            oscillating: oscillating as u64,
             summaries_fnv: summaries_digest(&result.summaries),
         },
         execution: SweepExecution {

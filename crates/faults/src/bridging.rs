@@ -1,4 +1,6 @@
-//! Non-feedback bridging fault (NFBF) enumeration and screening.
+//! Bridging fault enumeration and screening: non-feedback (NFBF) and
+//! feedback pairs, kept as separate universes per the paper's §2.2 topology
+//! axis.
 
 use std::fmt;
 
@@ -69,6 +71,29 @@ impl fmt::Display for BridgingFault {
     }
 }
 
+/// The structural topology of a bridged pair: whether one wire lies in the
+/// other's transitive fanout cone.
+///
+/// Non-feedback pairs have a purely functional faulty circuit; feedback
+/// pairs close a loop through the bridge and need the engine's ternary
+/// fixpoint propagation (`dp_core`), which may report an oscillating wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BridgeTopology {
+    /// Neither net reaches the other: the classic NFBF universe.
+    NonFeedback,
+    /// One net lies in the other's fanout cone: the bridge closes a loop.
+    Feedback,
+}
+
+impl fmt::Display for BridgeTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeTopology::NonFeedback => f.write_str("non-feedback"),
+            BridgeTopology::Feedback => f.write_str("feedback"),
+        }
+    }
+}
+
 /// Enumerates the potentially detectable NFBFs of a circuit for one bridge
 /// kind (the paper keeps the AND and OR sets separate).
 ///
@@ -85,6 +110,25 @@ impl fmt::Display for BridgingFault {
 ///
 /// The result is deterministic (ordered by net index pairs).
 pub fn enumerate_nfbfs(circuit: &Circuit, kind: BridgeKind) -> Vec<BridgingFault> {
+    enumerate_bridges(circuit, kind, BridgeTopology::NonFeedback)
+}
+
+/// Enumerates the bridging faults of one `(kind, topology)` cell of the
+/// scenario matrix.
+///
+/// [`BridgeTopology::NonFeedback`] reproduces [`enumerate_nfbfs`] exactly.
+/// [`BridgeTopology::Feedback`] returns the complementary pairs — one net
+/// in the other's fanout cone — which the old screen discarded; they are
+/// analysable via the engine's ternary fixpoint propagation. The structural
+/// undetectability screen applies to both topologies (it is vacuous for
+/// feedback pairs: a gate's output cannot share a single common sink with
+/// one of its own cone's inputs), and the result is deterministic (ordered
+/// by net index pairs).
+pub fn enumerate_bridges(
+    circuit: &Circuit,
+    kind: BridgeKind,
+    topology: BridgeTopology,
+) -> Vec<BridgingFault> {
     let reach = Reachability::compute(circuit);
     let n = circuit.num_nets();
     let mut out = Vec::new();
@@ -92,7 +136,12 @@ pub fn enumerate_nfbfs(circuit: &Circuit, kind: BridgeKind) -> Vec<BridgingFault
         let a = NetId::from_index(i);
         for j in i + 1..n {
             let b = NetId::from_index(j);
-            if reach.reaches(a, b) || reach.reaches(b, a) {
+            let feedback = reach.reaches(a, b) || reach.reaches(b, a);
+            let wanted = match topology {
+                BridgeTopology::NonFeedback => !feedback,
+                BridgeTopology::Feedback => feedback,
+            };
+            if !wanted {
                 continue;
             }
             if trivially_undetectable(circuit, a, b, kind) {
@@ -220,6 +269,36 @@ mod tests {
         let c = c17();
         let s1 = enumerate_nfbfs(&c, BridgeKind::And);
         let s2 = enumerate_nfbfs(&c, BridgeKind::And);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn topologies_partition_the_pair_space() {
+        // Every unordered net pair surviving the undetectability screen is
+        // either feedback or non-feedback, never both, never neither.
+        let c = c17();
+        let nf = enumerate_bridges(&c, BridgeKind::And, BridgeTopology::NonFeedback);
+        let fb = enumerate_bridges(&c, BridgeKind::And, BridgeTopology::Feedback);
+        assert_eq!(nf, enumerate_nfbfs(&c, BridgeKind::And));
+        assert!(!fb.is_empty(), "c17 has fanout; feedback pairs must exist");
+        for f in &fb {
+            assert!(
+                c.fanout_cone(f.a).contains(&f.b) || c.fanout_cone(f.b).contains(&f.a),
+                "{f} enumerated as feedback but neither net reaches the other"
+            );
+            assert!(!nf.contains(f), "{f} in both topology sets");
+        }
+        let mut all: Vec<_> = nf.iter().chain(&fb).map(|f| (f.a, f.b)).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), nf.len() + fb.len(), "pair sets overlap");
+    }
+
+    #[test]
+    fn feedback_enumeration_is_deterministic() {
+        let c = c17();
+        let s1 = enumerate_bridges(&c, BridgeKind::Or, BridgeTopology::Feedback);
+        let s2 = enumerate_bridges(&c, BridgeKind::Or, BridgeTopology::Feedback);
         assert_eq!(s1, s2);
     }
 

@@ -120,14 +120,28 @@ pub struct CollapseStats {
 /// assert_eq!(covered, faults.len());
 /// ```
 pub fn collapse_faults(circuit: &Circuit, faults: &[Fault]) -> CollapsedUniverse {
-    use std::collections::HashMap;
+    use std::collections::{HashMap, HashSet};
+    // Nets participating in any bridging pair of this universe. The
+    // forwarding equivalence proof assumes every net between a stuck-at
+    // site and its canonical site carries the fault-free function of its
+    // driver; a bridge elsewhere in the same universe sits exactly on such
+    // a net, so collapsing refuses to forward from or into a bridged net
+    // rather than assume the models never interact (see DESIGN.md §10).
+    let bridged: HashSet<usize> = faults
+        .iter()
+        .filter_map(|f| match f {
+            Fault::Bridging(b) => Some([b.a.index(), b.b.index()]),
+            _ => None,
+        })
+        .flatten()
+        .collect();
     // Canonical stuck-at key → position of its class in `classes`.
     let mut index: HashMap<StuckAtFault, usize> = HashMap::new();
     let mut classes: Vec<FaultClass> = Vec::new();
     for (i, fault) in faults.iter().enumerate() {
         let key = match fault {
             Fault::StuckAt(f) if site_in_circuit(circuit, f) => {
-                Some(canonical_stuck_at(circuit, *f))
+                Some(canonical_stuck_at_guarded(circuit, *f, &bridged))
             }
             _ => None,
         };
@@ -197,6 +211,24 @@ pub fn canonical_stuck_at(circuit: &Circuit, fault: StuckAtFault) -> StuckAtFaul
     let mut cur = fault;
     while let Some(next) = forward_once(circuit, cur) {
         cur = next;
+    }
+    cur
+}
+
+/// [`canonical_stuck_at`] with the bridged-net guard: the walk never leaves
+/// a net that participates in a bridging pair of the universe and never
+/// steps onto one.
+fn canonical_stuck_at_guarded(
+    circuit: &Circuit,
+    fault: StuckAtFault,
+    bridged: &std::collections::HashSet<usize>,
+) -> StuckAtFault {
+    let mut cur = fault;
+    while !bridged.contains(&cur.site.net().index()) {
+        match forward_once(circuit, cur) {
+            Some(next) if !bridged.contains(&next.site.net().index()) => cur = next,
+            _ => break,
+        }
     }
     cur
 }
@@ -386,11 +418,66 @@ mod tests {
             Fault::from(net(y, false)),
         ];
         let classes = collapse_faults(&c, &faults);
-        // x s-a-0 and y s-a-0 merge; the bridge stays alone in input order.
-        assert_eq!(classes.num_classes(), 2);
-        assert_eq!(classes.classes[0].members, vec![0, 2]);
+        // The bridge is a singleton, and — because x and y participate in a
+        // bridging pair of this universe — the two stuck-at faults no longer
+        // forward into g: the bridged-net guard keeps them singletons too.
+        assert_eq!(classes.num_classes(), 3);
+        assert_eq!(classes.classes[0].members, vec![0]);
         assert_eq!(classes.classes[1].members, vec![1]);
         assert_eq!(classes.classes[1].representative, 1);
+        assert_eq!(classes.classes[2].members, vec![2]);
+        // Without the bridge in the universe the same stuck-at pair merges.
+        let stuck_only = vec![Fault::from(net(x, false)), Fault::from(net(y, false))];
+        assert_eq!(collapse_faults(&c, &stuck_only).num_classes(), 1);
+    }
+
+    #[test]
+    fn bridge_on_a_collapsible_buffer_chain_blocks_forwarding() {
+        // x → b1 → m → n2 → PO is one BUF chain: without a bridge all the
+        // s-a-0 faults collapse into a single class. A bridge touching the
+        // middle net m must split the chain: faults upstream of m stop just
+        // before it, m's own fault stays put, faults after m still forward.
+        let mut b = CircuitBuilder::new("chain_bridge");
+        let x = b.input("x");
+        let w = b.input("w");
+        let b1 = b.gate("b1", GateKind::Buf, &[x]).unwrap();
+        let m = b.gate("m", GateKind::Buf, &[b1]).unwrap();
+        let n2 = b.gate("n2", GateKind::Buf, &[m]).unwrap();
+        b.output(n2);
+        let wo = b.gate("wo", GateKind::Buf, &[w]).unwrap();
+        b.output(wo);
+        let c = b.finish().unwrap();
+        let chain = [x, b1, m, n2];
+        let stuck: Vec<Fault> = chain.iter().map(|&n| Fault::from(net(n, false))).collect();
+        // Baseline: the whole chain is one class.
+        assert_eq!(collapse_faults(&c, &stuck).num_classes(), 1);
+        // Same universe plus a bridge on the middle net m.
+        let mut with_bridge = stuck.clone();
+        with_bridge.push(Fault::from(BridgingFault::new(m, w, BridgeKind::And)));
+        let classes = collapse_faults(&c, &with_bridge);
+        // {x, b1} stop at b1 (cannot step onto m), {m} is pinned, {n2}
+        // forwards freely past the bridge, and the bridge is a singleton.
+        assert_eq!(classes.num_classes(), 4);
+        assert_eq!(classes.classes[0].members, vec![0, 1]);
+        assert_eq!(classes.classes[1].members, vec![2]);
+        assert_eq!(classes.classes[2].members, vec![3]);
+        assert_eq!(classes.classes[3].members, vec![4]);
+    }
+
+    #[test]
+    fn multi_stuck_at_faults_are_singletons() {
+        let c = dp_netlist::generators::c17();
+        let base = checkpoint_faults(&c);
+        let faults = vec![
+            Fault::from(base[0]),
+            Fault::from(crate::MultiStuckAt::new(vec![base[0], base[2]])),
+            Fault::from(crate::MultiStuckAt::new(vec![base[0], base[2]])),
+        ];
+        let classes = collapse_faults(&c, &faults);
+        // Identical multis still never merge: the collapsing rules are
+        // proven for single stuck-at faults only.
+        assert_eq!(classes.num_classes(), 3);
+        assert!(classes.classes[1..].iter().all(|cl| cl.members.len() == 1));
     }
 
     #[test]
@@ -403,7 +490,7 @@ mod tests {
         };
         // A fault on a net index far beyond the tiny circuit.
         let foreign = Fault::from(net(NetId::from_index(1000), false));
-        let classes = collapse_faults(&small, &[foreign, foreign]);
+        let classes = collapse_faults(&small, &[foreign.clone(), foreign]);
         // Totality, not equivalence: each foreign fault is its own class.
         assert_eq!(classes.num_classes(), 2);
     }

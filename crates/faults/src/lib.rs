@@ -8,7 +8,10 @@
 //! * [`enumerate_nfbfs`] — all two-wire AND / OR bridging faults that are
 //!   non-feedback (neither wire in the other's fanout cone) and not
 //!   trivially undetectable (e.g. the AND bridge between two inputs of the
-//!   same AND gate).
+//!   same AND gate); [`enumerate_bridges`] generalises to the
+//!   [`BridgeTopology::Feedback`] pairs the old screen discarded.
+//! * [`pair_multis`] / [`sampled_multis`] — multiple stuck-at universes
+//!   (all checkpoint pairs, plus seeded samples of higher multiplicities).
 //! * [`sample_nfbfs`] — the paper's layout-weighted random sampling:
 //!   estimated coordinates, Euclidean distance normalised to the largest
 //!   pair distance, selection weighted by the exponential density
@@ -34,10 +37,12 @@
 
 mod bridging;
 mod collapse;
+mod multi;
 mod sample;
 mod stuck;
 
-pub use bridging::{enumerate_nfbfs, BridgeKind, BridgingFault};
+pub use bridging::{enumerate_bridges, enumerate_nfbfs, BridgeKind, BridgeTopology, BridgingFault};
+pub use multi::{pair_multis, sampled_multis, MultiStuckAt};
 pub use collapse::{
     canonical_stuck_at, collapse_faults, CollapseStats, CollapsedUniverse, FaultClass,
 };
@@ -49,21 +54,28 @@ pub use stuck::{
 use dp_netlist::NetId;
 
 /// Any fault the Difference Propagation engine can analyse.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Fault` is cheap to clone — the multiple stuck-at variant shares its
+/// component list behind an `Arc` — but no longer `Copy`, so sweep layers
+/// clone explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Fault {
     /// A single stuck-at fault.
     StuckAt(StuckAtFault),
     /// A two-wire bridging fault.
     Bridging(BridgingFault),
+    /// Several stuck-at components present simultaneously.
+    MultiStuckAt(MultiStuckAt),
 }
 
 impl Fault {
     /// The nets whose value the fault directly corrupts (one for stuck-at,
-    /// two for bridging).
+    /// two for bridging, one per component for a multiple fault).
     pub fn sites(&self) -> Vec<NetId> {
         match self {
             Fault::StuckAt(f) => vec![f.site.net()],
             Fault::Bridging(f) => vec![f.a, f.b],
+            Fault::MultiStuckAt(f) => f.site_nets(),
         }
     }
 }
@@ -80,11 +92,18 @@ impl From<BridgingFault> for Fault {
     }
 }
 
+impl From<MultiStuckAt> for Fault {
+    fn from(f: MultiStuckAt) -> Self {
+        Fault::MultiStuckAt(f)
+    }
+}
+
 impl std::fmt::Display for Fault {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Fault::StuckAt(x) => write!(f, "{x}"),
             Fault::Bridging(x) => write!(f, "{x}"),
+            Fault::MultiStuckAt(x) => write!(f, "{x}"),
         }
     }
 }

@@ -1,9 +1,9 @@
 //! `dp-client` — command-line client for a running `dp-serve`.
 //!
 //! ```text
-//! dp-client sweep --circuit c432s --order auto [--threads N] [--count N]
-//!                 [--no-collapse] [--node-budget N] [--fallback-samples N]
-//!                 [--report PATH]
+//! dp-client sweep --circuit c432s --order auto [--model M] [--threads N]
+//!                 [--count N] [--no-collapse] [--node-budget N]
+//!                 [--fallback-samples N] [--report PATH]
 //! dp-client detectability --circuit c17 --net <name> --stuck-at 0|1 [--order S]
 //! dp-client adherence     --circuit c17 --net <name> --stuck-at 0|1 [--order S]
 //! dp-client status
@@ -23,8 +23,10 @@ use dp_bdd::BudgetConfig;
 fn usage() -> ! {
     eprintln!(
         "usage: dp-client [--addr HOST:PORT] <sweep|detectability|adherence|status|shutdown> ...\n\
-         sweep         --circuit C [--order S] [--count N] [--threads N] [--no-collapse]\n\
-                       [--node-budget N] [--fallback-samples N] [--report PATH]\n\
+         sweep         --circuit C [--order S] [--model M] [--count N] [--threads N]\n\
+                       [--no-collapse] [--node-budget N] [--fallback-samples N] [--report PATH]\n\
+         M is a fault model: stuck (default), nfbf-and, nfbf-or, fbridge-and,\n\
+         fbridge-or, or multi\n\
          detectability --circuit C --net NAME --stuck-at 0|1 [--order S] [--node-budget N]\n\
          adherence     --circuit C --net NAME --stuck-at 0|1 [--order S] [--node-budget N]\n\
          status        snapshot-cache counters\n\
@@ -38,6 +40,7 @@ fn usage() -> ! {
 struct Opts {
     addr: String,
     circuit: Option<String>,
+    model: String,
     order: OrderStrategy,
     count: usize,
     threads: usize,
@@ -54,6 +57,7 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
     let mut opts = Opts {
         addr: "127.0.0.1:4590".into(),
         circuit: None,
+        model: "stuck".into(),
         order: OrderStrategy::Identity,
         count: 0,
         threads: 1,
@@ -85,6 +89,7 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
         match flag.as_str() {
             "--addr" => opts.addr = value("--addr"),
             "--circuit" => opts.circuit = Some(value("--circuit")),
+            "--model" => opts.model = value("--model"),
             "--order" => {
                 let v = value("--order");
                 opts.order = OrderStrategy::parse(&v).unwrap_or_else(|| {
@@ -157,6 +162,7 @@ fn main() {
         "sweep" => {
             let params = SweepParams {
                 order: opts.order,
+                model: opts.model.clone(),
                 count: opts.count,
                 collapse: opts.collapse,
                 threads: opts.threads,

@@ -143,7 +143,13 @@ fn load_builtin(name: &str) -> Option<Circuit> {
 pub struct SweepParams {
     /// Variable-order strategy — part of the snapshot-cache key.
     pub order: OrderStrategy,
-    /// First `count` checkpoint faults; `0` sweeps the full universe.
+    /// Fault model of the swept universe: `stuck` (checkpoint stuck-at,
+    /// the default), `nfbf-and` / `nfbf-or` (non-feedback bridges),
+    /// `fbridge-and` / `fbridge-or` (feedback bridges via the ternary
+    /// fixpoint), or `multi` (all distinct-site checkpoint pairs). Omitted
+    /// from the wire when it is the default, so old clients keep working.
+    pub model: String,
+    /// First `count` faults of the universe; `0` sweeps all of them.
     pub count: usize,
     /// Structural fault collapsing (rows identical either way).
     pub collapse: bool,
@@ -160,6 +166,7 @@ impl Default for SweepParams {
     fn default() -> SweepParams {
         SweepParams {
             order: OrderStrategy::Identity,
+            model: "stuck".to_string(),
             count: 0,
             collapse: true,
             threads: 1,
@@ -294,6 +301,9 @@ impl Request {
                         JsonValue::Int(params.fallback_samples as i128),
                     ),
                 ];
+                if params.model != "stuck" {
+                    pairs.push(("model", JsonValue::Str(params.model.clone())));
+                }
                 if let Some(b) = budget_to_json(&params.budget) {
                     pairs.push(("budget", b));
                 }
@@ -330,6 +340,13 @@ impl Request {
                 let defaults = SweepParams::default();
                 let params = SweepParams {
                     order: order_from_json(v.get("order"))?,
+                    model: match v.get("model") {
+                        None => defaults.model.clone(),
+                        Some(m) => m
+                            .as_str()
+                            .ok_or_else(|| err("model must be a string"))?
+                            .to_string(),
+                    },
                     count: v
                         .get("count")
                         .map(|c| c.as_u64().ok_or_else(|| err("count must be an integer")))
@@ -584,12 +601,19 @@ impl WireSummary {
             },
             outcome: match *outcome {
                 "exact" => FaultOutcome::Exact,
-                bounded => {
-                    let samples = bounded
-                        .strip_prefix("bounded:")
-                        .and_then(|s| s.parse().ok())
-                        .ok_or_else(|| err(format!("bad outcome `{bounded}`")))?;
-                    FaultOutcome::Bounded { samples }
+                other => {
+                    if let Some(s) = other.strip_prefix("bounded:") {
+                        let samples = s
+                            .parse()
+                            .map_err(|_| err(format!("bad outcome `{other}`")))?;
+                        FaultOutcome::Bounded { samples }
+                    } else if let Some(d) = other.strip_prefix("oscillating:") {
+                        let density_bits = u64::from_str_radix(d, 16)
+                            .map_err(|_| err(format!("bad outcome `{other}`")))?;
+                        FaultOutcome::Oscillating { density_bits }
+                    } else {
+                        return Err(err(format!("bad outcome `{other}`")));
+                    }
                 }
             },
         })
@@ -620,6 +644,7 @@ mod tests {
                 circuit: CircuitSpec::Builtin("c95".into()),
                 params: SweepParams {
                     order: OrderStrategy::Auto,
+                    model: "fbridge-and".into(),
                     count: 12,
                     collapse: false,
                     threads: 4,
@@ -708,7 +733,7 @@ mod tests {
             let line = summary_line(i, s);
             let wire = WireSummary::parse(&line).expect("parse wire line");
             assert_eq!(wire.index, i);
-            let rebuilt = wire.into_summary(s.fault);
+            let rebuilt = wire.into_summary(s.fault.clone());
             assert_eq!(summary_line(i, &rebuilt), line, "byte-identical round trip");
         }
     }

@@ -16,7 +16,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dp_analysis::stuck_at_universe;
+use dp_analysis::fault_model_universe;
 use dp_core::{
     summary_line, sweep_report, sweep_universe_ext, DiffProp, EngineConfig, FallbackConfig,
     FaultSummary, ManagerMode, OrderStrategy, Parallelism, SweepConfig,
@@ -223,7 +223,10 @@ fn stream_sweep(
     out: &mut impl Write,
 ) -> io::Result<()> {
     let circuit = &entry.circuit;
-    let mut faults = stuck_at_universe(circuit, true);
+    let mut faults = match fault_model_universe(circuit, &params.model, None, 0) {
+        Ok(faults) => faults,
+        Err(message) => return send(out, &Frame::Error { message }),
+    };
     if params.count > 0 {
         faults.truncate(params.count);
     }
@@ -271,7 +274,7 @@ fn stream_sweep(
     if let Some(e) = io_failure {
         return Err(e);
     }
-    let mut report = sweep_report(circuit.name(), "stuck-at", &result);
+    let mut report = sweep_report(circuit.name(), &params.model, &result);
     report.stream = Some(StreamInfo {
         frames: records + 1,
         records,

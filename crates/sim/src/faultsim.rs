@@ -102,6 +102,9 @@ fn faulty_values(circuit: &Circuit, fault: &Fault, inputs: &[u64]) -> Vec<u64> {
             // Re-sweep everything downstream, holding the bridged wires.
             sweep(&mut values, None, None, &[f.a.index(), f.b.index()]);
         }
+        Fault::MultiStuckAt(f) => {
+            return multi_faulty_values(circuit, f.components(), inputs);
+        }
     }
     values
 }
@@ -387,24 +390,39 @@ pub fn sampled_fault_estimate(
             let values = sim.run(&inputs);
             circuit.outputs().iter().map(|o| values[o.index()]).collect()
         };
-        let faulty = faulty_values(circuit, fault, &inputs);
-        if let Fault::Bridging(f) = fault {
-            let wired = faulty[f.a.index()];
-            site_all0 &= wired == 0;
-            site_all1 &= wired == !0u64;
-        }
+        // Bridges go through the ternary fixpoint: on a non-feedback pair
+        // everything settles and the counts are bit-identical to the binary
+        // sweep, while a feedback pair gets the loop semantics (definite
+        // differences only — an oscillating output is not a detection).
         let mut diff = 0u64;
-        for (k, &o) in circuit.outputs().iter().enumerate() {
-            let d = good[k] ^ faulty[o.index()];
-            if d != 0 {
-                observable[k] = true;
+        if let Fault::Bridging(f) = fault {
+            let (hi, lo) = crate::ternary::faulty_rails_block(circuit, fault, &inputs);
+            let wire = f.a.index();
+            site_all0 &= lo[wire] == !0u64;
+            site_all1 &= hi[wire] == !0u64;
+            for (k, &o) in circuit.outputs().iter().enumerate() {
+                let d = (hi[o.index()] & !good[k]) | (lo[o.index()] & good[k]);
+                if d != 0 {
+                    observable[k] = true;
+                }
+                diff |= d;
             }
-            diff |= d;
+        } else {
+            let faulty = faulty_values(circuit, fault, &inputs);
+            for (k, &o) in circuit.outputs().iter().enumerate() {
+                let d = good[k] ^ faulty[o.index()];
+                if d != 0 {
+                    observable[k] = true;
+                }
+                diff |= d;
+            }
         }
         detected += diff.count_ones() as u64;
     }
     let site_function_constant = match fault {
-        Fault::StuckAt(_) => true,
+        // Every stuck site — single or multiple — is a constant by
+        // definition.
+        Fault::StuckAt(_) | Fault::MultiStuckAt(_) => true,
         Fault::Bridging(_) => site_all0 || site_all1,
     };
     SampledDetectability {
@@ -541,7 +559,9 @@ mod tests {
 
     #[test]
     fn sampled_estimate_detects_nonconstant_bridge_sites() {
-        // Bridging x and ¬x wired-AND is constant 0; bridging x and y is not.
+        // Bridging x and ¬x is a feedback pair: the ternary fixpoint gives
+        // w = x AND NOT w — definite 0 at x=0, oscillating (X) at x=1 — so
+        // the site is NOT constant; neither is the non-feedback x·y wire.
         use dp_netlist::{CircuitBuilder, GateKind};
         let mut b = CircuitBuilder::new("t");
         let x = b.input("x");
@@ -552,9 +572,9 @@ mod tests {
         b.output(g1);
         b.output(g2);
         let c = b.finish().unwrap();
-        let constant = Fault::from(BridgingFault::new(x, nx, BridgeKind::And));
-        let est = sampled_fault_estimate(&c, &constant, 256, 3);
-        assert!(est.site_function_constant);
+        let feedback = Fault::from(BridgingFault::new(x, nx, BridgeKind::And));
+        let est = sampled_fault_estimate(&c, &feedback, 256, 3);
+        assert!(!est.site_function_constant, "oscillation at x=1 is not 0");
         let varying = Fault::from(BridgingFault::new(x, y, BridgeKind::And));
         let est2 = sampled_fault_estimate(&c, &varying, 256, 3);
         assert!(!est2.site_function_constant, "x·y is not constant");

@@ -26,6 +26,7 @@
 mod faultsim;
 mod grading;
 mod packed;
+mod ternary;
 
 pub use faultsim::{
     detects, detects_multi, exhaustive_detectability, exhaustive_multi_detectability,
@@ -33,3 +34,7 @@ pub use faultsim::{
 };
 pub use grading::{grade_test_set, Grade};
 pub use packed::PackedSim;
+pub use ternary::{
+    ternary_detects, ternary_exhaustive_detectability, ternary_faulty_outputs, Tern,
+    TernaryDetectability,
+};

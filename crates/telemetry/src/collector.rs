@@ -154,11 +154,14 @@ pub enum CounterKind {
     /// Live nodes reclaimed by those sifts (size before minus size after,
     /// summed over runs).
     SiftNodesReclaimed,
+    /// Feedback-bridge analyses whose bridged wire never settled: the
+    /// ternary fixpoint left residual X on some input vectors.
+    OscillatingFaults,
 }
 
 impl CounterKind {
     /// Number of counters (array dimension).
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 19;
     /// All counters, in serialisation order.
     pub const ALL: [CounterKind; CounterKind::COUNT] = [
         CounterKind::UniqueLookups,
@@ -179,6 +182,7 @@ impl CounterKind {
         CounterKind::FaultsSummarized,
         CounterKind::SiftRuns,
         CounterKind::SiftNodesReclaimed,
+        CounterKind::OscillatingFaults,
     ];
 
     /// Stable snake_case name, as serialised in `sweep_report.json`.
@@ -202,6 +206,7 @@ impl CounterKind {
             CounterKind::FaultsSummarized => "faults_summarized",
             CounterKind::SiftRuns => "sift_runs",
             CounterKind::SiftNodesReclaimed => "sift_nodes_reclaimed",
+            CounterKind::OscillatingFaults => "oscillating_faults",
         }
     }
 
@@ -228,14 +233,21 @@ pub enum HistKind {
     /// Classes per work-queue batch (1 for every unpackable or unbatched
     /// class; > 1 only for fused cone-disjoint stuck-at batches).
     BatchSize,
+    /// Ternary fixpoint iterations per feedback-bridge analysis (the
+    /// number of loop evaluations before the wired value stabilised).
+    FixpointIterations,
 }
 
 impl HistKind {
     /// Number of histograms (array dimension).
-    pub const COUNT: usize = 3;
+    pub const COUNT: usize = 4;
     /// All histograms, in serialisation order.
-    pub const ALL: [HistKind; HistKind::COUNT] =
-        [HistKind::FaultNanos, HistKind::ClassSize, HistKind::BatchSize];
+    pub const ALL: [HistKind; HistKind::COUNT] = [
+        HistKind::FaultNanos,
+        HistKind::ClassSize,
+        HistKind::BatchSize,
+        HistKind::FixpointIterations,
+    ];
 
     /// Stable snake_case name, as serialised in `sweep_report.json`.
     pub fn name(self) -> &'static str {
@@ -243,6 +255,7 @@ impl HistKind {
             HistKind::FaultNanos => "fault_nanos",
             HistKind::ClassSize => "class_size",
             HistKind::BatchSize => "batch_size",
+            HistKind::FixpointIterations => "fixpoint_iterations",
         }
     }
 
@@ -251,6 +264,7 @@ impl HistKind {
             HistKind::FaultNanos => 0,
             HistKind::ClassSize => 1,
             HistKind::BatchSize => 2,
+            HistKind::FixpointIterations => 3,
         }
     }
 }

@@ -60,6 +60,9 @@ pub struct SweepOutcome {
     pub exact: u64,
     /// Summaries degraded to sampled simulator estimates.
     pub bounded: u64,
+    /// Summaries whose feedback-bridge fixpoint left an oscillating wire
+    /// (exactly computed, but with residual X at the bridge).
+    pub oscillating: u64,
     /// FNV-1a digest over the canonical per-fault summary lines.
     pub summaries_fnv: u64,
 }
@@ -208,6 +211,7 @@ fn outcome_to_json(o: &SweepOutcome) -> JsonValue {
         ("largest_class", JsonValue::Int(o.largest_class as i128)),
         ("exact", JsonValue::Int(o.exact as i128)),
         ("bounded", JsonValue::Int(o.bounded as i128)),
+        ("oscillating", JsonValue::Int(o.oscillating as i128)),
         (
             "summaries_fnv",
             JsonValue::Str(format!("{:016x}", o.summaries_fnv)),
@@ -316,6 +320,11 @@ pub fn validate_report(doc: &JsonValue) -> Result<(), String> {
         ] {
             require_u64(result, field, &rat)?;
         }
+        // `oscillating` arrived with the feedback-bridge model (additive
+        // within v2): older documents omit it, newer ones must type it.
+        if result.get("oscillating").is_some() {
+            require_u64(result, "oscillating", &rat)?;
+        }
         let fnv = require_str(result, "summaries_fnv", &rat)?;
         if fnv.len() != 16 || !fnv.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(format!("{rat}.summaries_fnv: expected 16 hex digits"));
@@ -361,10 +370,20 @@ pub fn validate_report(doc: &JsonValue) -> Result<(), String> {
     Ok(())
 }
 
+/// Counters and histograms added within schema v2 (the feedback-bridge
+/// model): documents captured before them — e.g. the committed kernel-perf
+/// baseline — simply omit the keys, so the validator treats them as
+/// optional-but-typed instead of required.
+const ADDITIVE_COUNTERS: [CounterKind; 1] = [CounterKind::OscillatingFaults];
+const ADDITIVE_HISTS: [HistKind; 1] = [HistKind::FixpointIterations];
+
 fn validate_snapshot(snap: &JsonValue, at: &str) -> Result<(), String> {
     require_level(snap, "level", at)?;
     let counters = require_obj(snap, "counters", at)?;
     for kind in CounterKind::ALL {
+        if ADDITIVE_COUNTERS.contains(&kind) && counters.get(kind.name()).is_none() {
+            continue;
+        }
         require_u64(counters, kind.name(), &format!("{at}.counters"))?;
     }
     let spans = require_obj(snap, "spans", at)?;
@@ -377,6 +396,9 @@ fn validate_snapshot(snap: &JsonValue, at: &str) -> Result<(), String> {
     }
     let hists = require_obj(snap, "histograms", at)?;
     for kind in HistKind::ALL {
+        if ADDITIVE_HISTS.contains(&kind) && hists.get(kind.name()).is_none() {
+            continue;
+        }
         let buckets = require_arr(hists, kind.name(), &format!("{at}.histograms"))?;
         for (i, b) in buckets.iter().enumerate() {
             if b.as_u64().is_none() {
@@ -498,6 +520,7 @@ mod tests {
                     largest_class: 2,
                     exact: 10,
                     bounded: 0,
+                    oscillating: 0,
                     summaries_fnv: fnv1a64(b"example"),
                 },
                 execution: SweepExecution {

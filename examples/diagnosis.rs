@@ -52,7 +52,7 @@ fn main() {
         .map(|s| s.parse().expect("fault index"))
         .unwrap_or(7)
         % faults.len();
-    let defect = faults[defect_index];
+    let defect = faults[defect_index].clone();
 
     // The tester only sees pass/fail per (vector, output): simulate that.
     let observed = {

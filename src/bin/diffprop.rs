@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! diffprop stats      <circuit>            structural + testability summary
-//! diffprop analyze    <circuit> [N]        exact analysis of the first N checkpoint faults
+//! diffprop analyze    <circuit> [N]        exact analysis of the first N universe faults
 //! diffprop atpg       <circuit>            compact test set + redundancy report
 //! diffprop redundancy <circuit>            prove every net fault detectable or not
 //! diffprop bridges    <circuit> [N]        NFBF study with N sampled faults per kind
@@ -15,6 +15,12 @@
 //!
 //! Resource bounding (the `analyze` command):
 //!
+//! * `--model M` selects the fault model `analyze` sweeps: `stuck`
+//!   (default, collapsed checkpoint stuck-at), `nfbf-and` / `nfbf-or`
+//!   (non-feedback bridges), `fbridge-and` / `fbridge-or` (feedback
+//!   bridges via the ternary fixpoint — rows whose bridge wire oscillates
+//!   on some vectors are marked `oscill`), and `multi` (all distinct-site
+//!   checkpoint pairs).
 //! * `--node-budget N` caps the BDD node table at `N` nodes per fault
 //!   analysis. A fault that trips the cap falls back to packed random
 //!   fault simulation and its row is marked `bounded` instead of `exact`.
@@ -53,7 +59,8 @@
 //! identical to the unbudgeted engine's.
 
 use diffprop::analysis::{
-    analyze_faults, bridging_universe, records_from_summaries, stuck_at_universe, Histogram,
+    analyze_faults, bridging_universe, fault_model_universe, records_from_summaries,
+    stuck_at_universe, Histogram,
 };
 use diffprop::core::{
     find_redundancies, generate_tests, sweep_report, sweep_universe, BudgetConfig, EngineConfig,
@@ -92,6 +99,8 @@ fn usage() -> ! {
          [--order identity|fanin-dfs|interleave|auto] [--connect ADDR]\n\
          or:    diffprop serve [HOST:PORT] [--cache-bytes N]\n\
          circuit: c17 | full_adder | c95 | alu74181 | c432s | c499s | c1355s | c1908s | path.bench\n\
+         --model M             fault model for `analyze`: stuck (default), nfbf-and,\n\
+                               nfbf-or, fbridge-and, fbridge-or, multi\n\
          --node-budget N       cap BDD nodes per analysis; over-budget faults degrade to\n\
                                sampled simulation estimates (analyze command)\n\
          --fallback-samples N  random vectors per degraded estimate (default 4096)\n\
@@ -115,6 +124,7 @@ fn usage() -> ! {
 
 /// Resource-bounding and sweep options shared by the subcommands.
 struct Opts {
+    model: String,
     node_budget: Option<usize>,
     fallback_samples: u64,
     threads: usize,
@@ -149,6 +159,7 @@ impl Opts {
 fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
     let mut positional = Vec::new();
     let mut opts = Opts {
+        model: "stuck".into(),
         node_budget: None,
         fallback_samples: 4096,
         threads: 1,
@@ -173,6 +184,7 @@ fn parse_args(raw: Vec<String>) -> (Vec<String>, Opts) {
             })
         };
         match flag.as_str() {
+            "--model" => opts.model = value("--model"),
             "--node-budget" => {
                 let v = value("--node-budget");
                 opts.node_budget = Some(v.parse().unwrap_or_else(|_| {
@@ -316,7 +328,10 @@ fn stats(circuit: &Circuit) {
 }
 
 fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
-    let mut faults = stuck_at_universe(circuit, true);
+    let mut faults = fault_model_universe(circuit, &opts.model, None, 0).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
     faults.truncate(n);
     let config = EngineConfig {
         budget: opts.budget(),
@@ -350,7 +365,7 @@ fn analyze(circuit: &Circuit, n: usize, opts: &Opts) {
     if let Some(path) = &opts.telemetry_path {
         let mut file = diffprop::telemetry::ReportFile::new("diffprop");
         file.reports
-            .push(sweep_report(circuit.name(), "stuck-at", &sweep));
+            .push(sweep_report(circuit.name(), &opts.model, &sweep));
         match std::fs::write(path, file.to_pretty_string()) {
             Ok(()) => eprintln!("telemetry report written to {path}"),
             Err(e) => {
@@ -374,7 +389,10 @@ fn analyze_connect(circuit: &Circuit, target: &str, n: usize, opts: &Opts, addr:
     });
     // The fault list is derived locally from the identical circuit — the
     // wire carries indices into it, not fault descriptions.
-    let mut faults = stuck_at_universe(circuit, true);
+    let mut faults = fault_model_universe(circuit, &opts.model, None, 0).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    });
     faults.truncate(n);
     let mut client = Client::connect(addr).unwrap_or_else(|e| {
         eprintln!("cannot connect to {addr}: {e}");
@@ -382,6 +400,7 @@ fn analyze_connect(circuit: &Circuit, target: &str, n: usize, opts: &Opts, addr:
     });
     let params = SweepParams {
         order: opts.order,
+        model: opts.model.clone(),
         count: n,
         collapse: opts.collapse,
         threads: opts.threads,
@@ -404,8 +423,8 @@ fn analyze_connect(circuit: &Circuit, target: &str, n: usize, opts: &Opts, addr:
             eprintln!("malformed record from {addr}: {e}");
             std::process::exit(1);
         });
-        kept.push(faults[*index]);
-        summaries.push(wire.into_summary(faults[*index]));
+        kept.push(faults[*index].clone());
+        summaries.push(wire.into_summary(faults[*index].clone()));
     }
     eprintln!(
         "{} faults in {} equivalence classes over {} worker(s)",
@@ -454,15 +473,26 @@ fn print_analysis(
             adh,
             s.num_observable(),
             circuit.num_outputs(),
-            if s.outcome.is_exact() { "exact" } else { "bounded" }
+            if s.outcome.is_exact() {
+                "exact"
+            } else if s.outcome.is_oscillating() {
+                "oscill"
+            } else {
+                "bounded"
+            }
         );
     }
-    let bounded = summaries.iter().filter(|s| !s.outcome.is_exact()).count();
-    println!(
-        "\noutcomes: {} exact, {} bounded",
-        summaries.len() - bounded,
-        bounded
-    );
+    let oscillating = summaries
+        .iter()
+        .filter(|s| s.outcome.is_oscillating())
+        .count();
+    let exact = summaries.iter().filter(|s| s.outcome.is_exact()).count();
+    let bounded = summaries.len() - exact - oscillating;
+    print!("\noutcomes: {exact} exact, {bounded} bounded");
+    if oscillating > 0 {
+        print!(", {oscillating} oscillating");
+    }
+    println!();
     if bounded > 0 {
         println!(
             "(bounded rows are estimates over {} random vectors; raise --node-budget for exact results)",

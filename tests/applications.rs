@@ -61,7 +61,7 @@ fn mixed_model_dictionary_diagnosis() {
         .take(40)
         .map(Fault::from)
         .collect();
-    faults.extend(bridges.iter().copied());
+    faults.extend(bridges.iter().cloned());
     let tests = generate_tests(&c, &faults);
     let dict = FaultDictionary::build(&c, &faults, &tests.vectors);
     // Pick a covered bridging fault as the defect.
@@ -93,7 +93,7 @@ fn redundancy_report_matches_atpg_undetectables() {
         .iter()
         .map(|f| match f {
             Fault::StuckAt(s) => *s,
-            Fault::Bridging(_) => unreachable!("stuck-at universe"),
+            Fault::Bridging(_) | Fault::MultiStuckAt(_) => unreachable!("stuck-at universe"),
         })
         .collect();
     assert_eq!(report.redundant, from_atpg);

@@ -66,6 +66,10 @@ proptest! {
                         prop_assert_eq!(&got.observable_outputs, &exact.observable_outputs);
                         prop_assert_eq!(got.site_function_constant, exact.site_function_constant);
                     }
+                    // Stuck-at faults never take the fixpoint path.
+                    Err(AnalysisError::FixpointDiverged { .. }) => {
+                        prop_assert!(false, "stuck-at fault reported a fixpoint divergence");
+                    }
                     Err(AnalysisError::BudgetExceeded(_)) => {
                         // Legal degradation — and it must not poison later
                         // calls: the infallible path stays exact afterwards.

@@ -11,10 +11,14 @@
 // of the helpers.
 #![allow(dead_code)]
 
-use diffprop::core::{sweep_universe, FaultSummary, SweepConfig};
-use diffprop::faults::{checkpoint_faults, enumerate_nfbfs, BridgeKind, Fault};
+use diffprop::core::{sweep_universe, FaultOutcome, FaultSummary, SweepConfig};
+use diffprop::faults::{
+    checkpoint_faults, enumerate_bridges, enumerate_nfbfs, pair_multis, BridgeKind,
+    BridgeTopology, Fault,
+};
 use diffprop::netlist::generators::{c17, c95, full_adder};
 use diffprop::netlist::Circuit;
+use diffprop::sim::ternary_exhaustive_detectability;
 
 /// Where the golden summaries live, relative to the workspace root (the
 /// working directory of integration tests).
@@ -35,8 +39,15 @@ pub fn summary_line(circuit: &str, model: &str, idx: usize, s: &FaultSummary) ->
         Some(c) => c.to_string(),
         None => "-".to_string(),
     };
+    let outcome = match s.outcome {
+        FaultOutcome::Exact => "exact".to_string(),
+        FaultOutcome::Bounded { samples } => format!("bounded:{samples}"),
+        FaultOutcome::Oscillating { density_bits } => {
+            format!("oscillating:{density_bits:016x}")
+        }
+    };
     format!(
-        "{circuit}\t{model}\t{idx}\t{}\t{count}\t{:016x}\t{adherence}\t{obs}\t{}",
+        "{circuit}\t{model}\t{idx}\t{}\t{count}\t{:016x}\t{adherence}\t{obs}\t{}\t{outcome}",
         s.fault,
         s.detectability.to_bits(),
         s.site_function_constant as u8
@@ -66,6 +77,32 @@ pub fn bridging_universe(circuit: &Circuit, cap: usize) -> Vec<Fault> {
     faults
 }
 
+/// AND and OR *feedback* bridges — one wire in the other's fanout cone —
+/// capped per kind. The engine routes these through its ternary fixpoint.
+pub fn feedback_universe(circuit: &Circuit, cap: usize) -> Vec<Fault> {
+    let mut faults = Vec::new();
+    for kind in [BridgeKind::And, BridgeKind::Or] {
+        faults.extend(
+            enumerate_bridges(circuit, kind, BridgeTopology::Feedback)
+                .into_iter()
+                .take(cap)
+                .map(Fault::from),
+        );
+    }
+    faults
+}
+
+/// Double stuck-at faults from the all-pairs checkpoint universe, capped.
+/// `pair_multis` enumerates deterministically, so the capped slice is
+/// stable.
+pub fn multi_universe(circuit: &Circuit, cap: usize) -> Vec<Fault> {
+    pair_multis(circuit)
+        .into_iter()
+        .take(cap)
+        .map(Fault::from)
+        .collect()
+}
+
 /// The golden circuit set by name (the TSV's first column).
 pub fn golden_circuit(name: &str) -> Circuit {
     match name {
@@ -85,7 +122,14 @@ pub fn golden_universes() -> Vec<(String, &'static str, Vec<Fault>)> {
         out.push((name.clone(), "stuck", stuck_at_universe(&circuit)));
         // Same deterministic cap as the oracle tests keeps this fast on c95.
         let cap = if circuit.num_inputs() > 8 { 120 } else { usize::MAX };
-        out.push((name, "bridge", bridging_universe(&circuit, cap)));
+        out.push((name.clone(), "bridge", bridging_universe(&circuit, cap)));
+        // The extended models ride the same file: feedback bridges pin the
+        // ternary fixpoint (including each oscillation density, via the
+        // outcome column), double stuck-ats pin multi-fault composition.
+        let fb_cap = if circuit.num_inputs() > 8 { 40 } else { usize::MAX };
+        out.push((name.clone(), "fbridge", feedback_universe(&circuit, fb_cap)));
+        let multi_cap = if circuit.num_inputs() > 8 { 120 } else { usize::MAX };
+        out.push((name, "multi", multi_universe(&circuit, multi_cap)));
     }
     out
 }
@@ -103,6 +147,55 @@ pub fn current_golden_lines(config: &SweepConfig) -> Vec<String> {
         }
     }
     lines
+}
+
+/// Model-generic oracle check: sweeps `faults` under `config` and demands
+/// that every summary — detectability, exact test count, and (for feedback
+/// bridges) the oscillation density — equals what the independent packed
+/// ternary simulator computes by exhausting all `2^n` vectors.
+///
+/// The simulator shares no code with the engine's BDD path and converges to
+/// the same least fixpoint per vector, so agreement here pins every fault
+/// model (single/multiple stuck-at, non-feedback and feedback bridges) to
+/// one reference semantics.
+pub fn assert_matches_ternary_oracle(circuit: &Circuit, faults: &[Fault], config: &SweepConfig) {
+    assert!(!faults.is_empty(), "empty universe on {}", circuit.name());
+    let total = 1u128 << circuit.num_inputs();
+    let sweep = sweep_universe(circuit, faults, config);
+    assert_eq!(sweep.summaries.len(), faults.len());
+    for (fault, s) in faults.iter().zip(&sweep.summaries) {
+        let t = ternary_exhaustive_detectability(circuit, fault);
+        assert_eq!(
+            s.test_count,
+            Some(u128::from(t.detected)),
+            "test_count for {fault} on {}",
+            circuit.name()
+        );
+        // count / 2^n is exact in f64 at these sizes: demand bit equality.
+        assert_eq!(
+            s.detectability.to_bits(),
+            (t.detected as f64 / total as f64).to_bits(),
+            "detectability for {fault} on {}",
+            circuit.name()
+        );
+        match s.outcome {
+            FaultOutcome::Exact => {
+                assert_eq!(t.oscillating, 0, "{fault}: simulator saw oscillation, engine none");
+            }
+            FaultOutcome::Oscillating { density_bits } => {
+                assert!(t.oscillating > 0, "{fault}: engine oscillates, simulator settles");
+                assert_eq!(
+                    density_bits,
+                    (t.oscillating as f64 / total as f64).to_bits(),
+                    "oscillation density for {fault} on {}",
+                    circuit.name()
+                );
+            }
+            FaultOutcome::Bounded { .. } => {
+                panic!("{fault}: bounded summary in an unbudgeted oracle sweep")
+            }
+        }
+    }
 }
 
 /// Asserts `lines` equals the committed golden file, line by line.

@@ -1,18 +1,23 @@
 //! Differential test layer: Difference Propagation vs brute-force truth.
 //!
-//! For c17, the full adder and c95, and for both fault models (checkpoint
-//! stuck-at faults and AND/OR NFBFs), DP's exact `test_count` and
-//! per-output observability sets must equal, fault by fault, a ground truth
-//! computed by scalar exhaustive simulation of every input vector. The
-//! scalar simulator shares no code with the engine's BDD path (and is
-//! cross-checked here against the bit-parallel `exhaustive_detectability`),
-//! so agreement pins the whole DP pipeline — good functions, Table-1
-//! propagation, counting — to an independent oracle.
+//! For c17, the full adder and c95, and for every fault model (checkpoint
+//! stuck-at faults, AND/OR NFBFs, feedback bridges, and double stuck-at
+//! faults), DP's exact `test_count` and per-output observability sets must
+//! equal, fault by fault, a ground truth computed by exhaustive simulation
+//! of every input vector. Acyclic models use the scalar binary simulator
+//! (cross-checked here against the bit-parallel
+//! `exhaustive_detectability`); feedback bridges use the packed *ternary*
+//! simulator, whose per-vector Gauss-Seidel fixpoint is the independent
+//! realisation of the same 0/1/X semantics the engine computes
+//! symbolically. Agreement pins the whole DP pipeline — good functions,
+//! Table-1 propagation, the ternary fixpoint, counting — to oracles that
+//! share no code with it.
 
 mod common;
 
 use common::{
-    assert_matches_golden, bridging_universe, current_golden_lines, stuck_at_universe, GOLDEN_PATH,
+    assert_matches_golden, assert_matches_ternary_oracle, bridging_universe, current_golden_lines,
+    feedback_universe, multi_universe, stuck_at_universe, GOLDEN_PATH,
 };
 use diffprop::core::{
     analyze_universe, plan_batches, sweep_universe, DiffProp, EngineConfig, OrderStrategy,
@@ -170,6 +175,64 @@ fn c95_bridging_matches_exhaustive() {
     // c95's NFBF sets are large; a deterministic 120-per-kind slice keeps
     // the oracle (512 vectors x scalar resimulation per fault) affordable.
     check_universe(&c, &bridging_universe(&c, 120));
+}
+
+// ---------------------------------------------------------------------------
+// Extended fault models vs the ternary reference simulator.
+//
+// Feedback bridges close a structural loop, so the binary oracle above no
+// longer applies: both the engine (symbolically) and the packed ternary
+// simulator (vector by vector) compute the least fixpoint of the 0/1/X
+// loop, from entirely separate code. `assert_matches_ternary_oracle`
+// demands bit-equal detectability, test counts, and oscillation densities.
+// Double stuck-at faults are acyclic, so they get both oracles: the
+// exhaustive binary multi-fault simulation (via `check_universe`) and the
+// ternary runner.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn c17_feedback_bridging_matches_ternary_oracle() {
+    let c = c17();
+    let faults = feedback_universe(&c, usize::MAX);
+    assert_matches_ternary_oracle(&c, &faults, &sweep_config(Parallelism::Serial));
+}
+
+#[test]
+fn c95_feedback_bridging_matches_ternary_oracle() {
+    let c = c95();
+    // Capped per kind: the oracle runs 2^9 vectors through a Gauss-Seidel
+    // fixpoint per fault.
+    let faults = feedback_universe(&c, 40);
+    assert_matches_ternary_oracle(&c, &faults, &sweep_config(Parallelism::Serial));
+}
+
+#[test]
+fn alu74181_sampled_feedback_bridging_matches_ternary_oracle() {
+    let c = alu74181();
+    // 2^14 vectors per oracle call: an evenly spaced sample keeps this a
+    // seconds-scale test while still covering both bridge kinds.
+    let universe = feedback_universe(&c, usize::MAX);
+    let step = universe.len().div_ceil(12).max(1);
+    let faults: Vec<Fault> = universe.into_iter().step_by(step).collect();
+    assert_matches_ternary_oracle(&c, &faults, &sweep_config(Parallelism::Serial));
+}
+
+#[test]
+fn c17_pairwise_multi_matches_exhaustive() {
+    let c = c17();
+    let faults = multi_universe(&c, usize::MAX);
+    // Binary oracle: exact counts and per-output observability.
+    check_universe(&c, &faults);
+    // Ternary oracle: same counts, and never an oscillation (acyclic model).
+    assert_matches_ternary_oracle(&c, &faults, &sweep_config(Parallelism::Serial));
+}
+
+#[test]
+fn full_adder_pairwise_multi_matches_exhaustive() {
+    let c = full_adder();
+    let faults = multi_universe(&c, usize::MAX);
+    check_universe(&c, &faults);
+    assert_matches_ternary_oracle(&c, &faults, &sweep_config(Parallelism::Serial));
 }
 
 // ---------------------------------------------------------------------------
@@ -364,7 +427,9 @@ fn batch_packing_is_deterministic_and_cone_sound() {
                             diffprop::faults::FaultSite::Net(n) => n,
                             diffprop::faults::FaultSite::Branch(b) => b.sink,
                         },
-                        Fault::Bridging(_) => panic!("bridging fault packed into a batch"),
+                        Fault::Bridging(_) | Fault::MultiStuckAt(_) => {
+                            panic!("multi-site fault packed into a batch")
+                        }
                     };
                     assert!(
                         reach.cones_disjoint(site(x), site(y)),
